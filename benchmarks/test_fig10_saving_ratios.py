@@ -1,0 +1,82 @@
+"""E6 — Figure 10: saving ratios of app/opt over top/sub.
+
+Figure 10 reports S_{a/t} = (T_top − T_app)/T_top and its three siblings
+for Qs/Qm/Ql on both databases.  The paper's observations:
+
+* app and opt save more over top than over sub;
+* the saving ratio grows as the query's output node moves toward the
+  leaves (opt reaches ≈0.64 over top and ≈0.53 over sub for Ql on NASA).
+"""
+
+import pytest
+
+from repro.bench.harness import format_table, run_query_class, saving_ratio
+
+from conftest import SCHEMES, write_result
+
+CLASSES = ("Qs", "Qm", "Ql")
+
+
+def _run(systems, query_classes):
+    totals = {}
+    for kind in SCHEMES:
+        for query_class in CLASSES:
+            result = run_query_class(
+                systems[kind], query_class, query_classes[query_class]
+            )
+            totals[(kind, query_class)] = result.total_s
+
+    rows = []
+    ratios = {}
+    for query_class in CLASSES:
+        row = [query_class]
+        for label, better, worse in (
+            ("a/t", "app", "top"),
+            ("a/s", "app", "sub"),
+            ("o/t", "opt", "top"),
+            ("o/s", "opt", "sub"),
+        ):
+            ratio = saving_ratio(
+                totals[(worse, query_class)], totals[(better, query_class)]
+            )
+            ratios[(label, query_class)] = ratio
+            row.append(ratio)
+        rows.append(row)
+    return rows, ratios
+
+
+@pytest.mark.parametrize("dataset", ["xmark", "nasa"])
+def test_fig10_saving_ratios(
+    benchmark, dataset, xmark_systems, nasa_systems, xmark_queries,
+    nasa_queries,
+):
+    systems = xmark_systems if dataset == "xmark" else nasa_systems
+    query_classes = xmark_queries if dataset == "xmark" else nasa_queries
+    rows, ratios = benchmark.pedantic(
+        _run, args=(systems, query_classes), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["class", "S_a/t", "S_a/s", "S_o/t", "S_o/s"],
+        rows,
+        f"Figure 10 — saving ratios, {dataset} database",
+    )
+    write_result(f"fig10_saving_ratios_{dataset}", table)
+
+    # Shape: opt/app save over the top scheme on the mid- and leaf-level
+    # classes.  (Qs outputs are root children — entire record subtrees —
+    # where decrypting many small blocks can rival decrypting one big
+    # one, so its sign is noise-prone at benchmark scale.)
+    for query_class in ("Qm", "Ql"):
+        assert ratios[("o/t", query_class)] > 0
+        assert ratios[("a/t", query_class)] > 0
+    # Savings over top exceed savings over sub (sub is already better
+    # than top).
+    mean_over_top = sum(
+        ratios[("o/t", c)] for c in CLASSES
+    ) / len(CLASSES)
+    mean_over_sub = sum(
+        ratios[("o/s", c)] for c in CLASSES
+    ) / len(CLASSES)
+    assert mean_over_top >= mean_over_sub - 0.05
+    # Leaf-level queries reach substantial savings over top (paper: 0.64).
+    assert ratios[("o/t", "Ql")] > 0.3

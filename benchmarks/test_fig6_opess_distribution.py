@@ -1,0 +1,70 @@
+"""E1 — Figure 6: OPESS flattens a skewed value distribution.
+
+The paper's Figure 6(a) shows a skewed input histogram over six values;
+Figure 6(b) shows the encrypted values each occurring m−1, m or m+1 times.
+This benchmark reproduces both sides for the figure's histogram, prints
+them, and checks the flatness property.
+"""
+
+from collections import Counter
+
+from repro.bench.harness import format_table
+from repro.core.opess import build_field_plan, chunk_ciphertexts
+from repro.crypto.ope import OrderPreservingEncryption
+from repro.crypto.prf import DeterministicRandom
+
+from conftest import write_result
+
+#: Figure 6(a)'s skewed input (value -> occurrences); the "90" -> 34
+#: decomposition is the example worked in the text.
+FIG6_INPUT = {"1001": 16, "932": 8, "23": 26, "77": 7, "90": 34, "12": 13}
+
+
+def _build_plan():
+    ope = OrderPreservingEncryption(b"fig6-ope-key-0123456789abcdef-!!")
+    stream = DeterministicRandom(b"fig6-stream-key!", "fig6")
+    plan = build_field_plan("fig6", Counter(FIG6_INPUT), stream, ope)
+    return plan, ope
+
+
+def test_fig6_distribution_flattening(benchmark):
+    plan, ope = benchmark.pedantic(_build_plan, rounds=1, iterations=1)
+
+    before_rows = [[value, count] for value, count in FIG6_INPUT.items()]
+    after_rows = []
+    all_chunk_sizes = []
+    for value in plan.ordered_values:
+        ciphertexts = chunk_ciphertexts(plan, value, ope)
+        for index, (ciphertext, chunk) in enumerate(
+            zip(ciphertexts, plan.chunk_plan[value]), start=1
+        ):
+            after_rows.append([f"E({value}, k{index})", chunk])
+            if FIG6_INPUT[value] > 1:
+                all_chunk_sizes.append(chunk)
+
+    table = (
+        format_table(
+            ["value", "occurrences"],
+            before_rows,
+            "Figure 6(a) — plaintext distribution",
+        )
+        + "\n\n"
+        + format_table(
+            ["encrypted value", "occurrences"],
+            after_rows,
+            f"Figure 6(b) — ciphertext distribution (m = {plan.m})",
+        )
+    )
+    write_result("fig6_opess_distribution", table)
+
+    # The paper's flatness claim: every ciphertext frequency is in
+    # {m−1, m, m+1}.
+    m = plan.m
+    assert all(size in (m - 1, m, m + 1) for size in all_chunk_sizes)
+    # The figure shows frequencies 6/7/8 (m = 7) for this input.
+    assert m == 7
+    # The worked example: 34 = 1·6 + 4·7 + 0·8 -> 5 encrypted values.
+    assert sorted(plan.chunk_plan["90"]) == [6, 7, 7, 7, 7]
+    # Spread between max and min ciphertext frequency is at most 2,
+    # versus 27 in the input.
+    assert max(all_chunk_sizes) - min(all_chunk_sizes) <= 2

@@ -1,0 +1,65 @@
+"""E3 — §7.3: our approach vs. the naive ship-everything method.
+
+The paper: "the query evaluation time by our technique is only 11% - 28%
+of that by the naive method, while top scheme has the same performance as
+naive method."  This benchmark measures total query time (server + wire +
+client) for both protocols on both datasets under all four schemes and
+reports the ratio.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table, trimmed_mean
+
+from conftest import SCHEMES, write_result
+
+
+def _flatten(query_classes):
+    return [q for queries in query_classes.values() for q in queries]
+
+
+def _measure(system, queries, naive):
+    totals = []
+    for query in queries:
+        if naive:
+            system.naive_query(query)
+        else:
+            system.query(query)
+        totals.append(system.last_trace.total_s)
+    return trimmed_mean(totals)
+
+
+def _run(systems, queries):
+    rows = []
+    ratios = {}
+    for kind in SCHEMES:
+        system = systems[kind]
+        ours = _measure(system, queries, naive=False)
+        naive = _measure(system, queries, naive=True)
+        ratio = ours / naive if naive else 1.0
+        ratios[kind] = ratio
+        rows.append([kind, ours, naive, ratio])
+    return rows, ratios
+
+
+@pytest.mark.parametrize("dataset", ["xmark", "nasa"])
+def test_vs_naive(benchmark, dataset, xmark_systems, nasa_systems,
+                  xmark_queries, nasa_queries):
+    systems = xmark_systems if dataset == "xmark" else nasa_systems
+    queries = _flatten(xmark_queries if dataset == "xmark" else nasa_queries)
+    rows, ratios = benchmark.pedantic(
+        _run, args=(systems, queries), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["scheme", "t_ours (s)", "t_naive (s)", "ours/naive"],
+        rows,
+        f"§7.3 — secure pipeline vs naive method, {dataset} database",
+    )
+    write_result(f"sec73_vs_naive_{dataset}", table)
+
+    # Shape assertions: selective schemes beat naive decisively; the top
+    # scheme cannot beat it (it ships the whole database either way).
+    for kind in ("opt", "app"):
+        assert ratios[kind] < 0.6, (kind, ratios[kind])
+    assert ratios["sub"] < 1.0
+    assert ratios["top"] > 0.6

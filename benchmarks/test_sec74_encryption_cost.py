@@ -1,0 +1,74 @@
+"""E4 — §7.4 (first part): encryption time and encrypted document size.
+
+The paper observed, per scheme: *app* takes the longest to encrypt (it
+encrypts the most elements), *sub* produces the largest encrypted document
+(thousands of blocks each paying the per-block envelope), and *opt* is the
+best on both axes.  This benchmark re-hosts both datasets under all four
+schemes and reports time, size, block counts and scheme sizes.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.core.system import SecureXMLSystem
+from repro.workloads.nasa import nasa_constraints
+from repro.workloads.xmark import xmark_constraints
+
+from conftest import SCHEMES, write_result
+
+
+def _run(document, constraints):
+    rows = []
+    stats = {}
+    for kind in SCHEMES:
+        started = time.perf_counter()
+        system = SecureXMLSystem.host(document, constraints, scheme=kind)
+        elapsed = time.perf_counter() - started
+        trace = system.hosting_trace
+        stats[kind] = {
+            "time": elapsed,
+            "bytes": trace.hosted_bytes,
+            "blocks": trace.block_count,
+            "scheme_nodes": trace.scheme_size_nodes,
+        }
+        rows.append(
+            [
+                kind,
+                elapsed,
+                trace.hosted_bytes,
+                trace.block_count,
+                trace.scheme_size_nodes,
+                trace.decoy_count,
+            ]
+        )
+    return rows, stats
+
+
+@pytest.mark.parametrize("dataset", ["xmark", "nasa"])
+def test_encryption_cost(benchmark, dataset, xmark_doc, nasa_doc):
+    document = xmark_doc if dataset == "xmark" else nasa_doc
+    constraints = (
+        xmark_constraints() if dataset == "xmark" else nasa_constraints()
+    )
+    rows, stats = benchmark.pedantic(
+        _run, args=(document, constraints), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["scheme", "encrypt time (s)", "hosted bytes", "blocks",
+         "|S| (nodes)", "decoys"],
+        rows,
+        f"§7.4 — encryption cost per scheme, {dataset} database",
+    )
+    write_result(f"sec74_encryption_cost_{dataset}", table)
+
+    # Shape assertions from the paper's narrative:
+    # opt encrypts no more nodes than app (exact vs approximate cover).
+    assert stats["opt"]["scheme_nodes"] <= stats["app"]["scheme_nodes"]
+    # sub's output exceeds opt's (bigger blocks + envelopes).
+    assert stats["sub"]["bytes"] > stats["opt"]["bytes"]
+    # top is one single block.
+    assert stats["top"]["blocks"] == 1
+    # Fine-grained schemes have many blocks.
+    assert stats["opt"]["blocks"] > stats["sub"]["blocks"] > 1

@@ -1,0 +1,104 @@
+"""E8 — Theorems 5.1 & 5.2: candidate counts behind the server metadata.
+
+Theorem 5.1: a block with nᵢ leaves shown as kᵢ grouped DSI intervals
+admits C(nᵢ−1, kᵢ−1) candidate subtree shapes; blocks multiply.  We
+compute (nᵢ, kᵢ) from the *actual hosted NASA system* and report the
+product, alongside the paper's (15,5) → 1001 example.
+
+Theorem 5.2: splitting k plaintext values into n ciphertexts admits
+C(n−1, k−1) order-preserving partitions; we compute it for every field
+plan of the hosted system.
+"""
+
+from repro.bench.harness import format_table
+from repro.security.counting import (
+    structural_candidates,
+    value_index_candidates,
+)
+
+from conftest import write_result
+
+
+def _structural_profile(system):
+    """(n_leaves, k_intervals) per encryption block of a hosted system."""
+    hosted = system.hosted
+    per_block_members: dict[int, int] = {}
+    per_block_entries: dict[int, int] = {}
+    for entry in hosted.structural_index.all_entries():
+        if entry.block_id is None:
+            continue
+        per_block_members[entry.block_id] = per_block_members.get(
+            entry.block_id, 0
+        ) + len(entry.member_ids)
+        per_block_entries[entry.block_id] = (
+            per_block_entries.get(entry.block_id, 0) + 1
+        )
+    return [
+        (per_block_members[block_id], per_block_entries[block_id])
+        for block_id in sorted(per_block_members)
+    ]
+
+
+def _run(nasa_systems):
+    rows = []
+    rows.append(
+        ["paper example (15,5)", structural_candidates([(15, 5)]), ""]
+    )
+    for kind in ("top", "sub"):
+        profile = _structural_profile(nasa_systems[kind])
+        grouped_blocks = [(n, k) for n, k in profile if n > k]
+        candidates = structural_candidates(profile)
+        rows.append(
+            [
+                f"NASA {kind} structural index",
+                candidates,
+                f"{len(profile)} blocks, {len(grouped_blocks)} with grouping",
+            ]
+        )
+
+    value_rows = []
+    system = nasa_systems["opt"]
+    for field, plan in sorted(system.hosted.field_plans.items()):
+        plaintext_values = len(plan.ordered_values)
+        ciphertext_values = sum(
+            len(chunks) for chunks in plan.chunk_plan.values()
+        )
+        value_rows.append(
+            [
+                field,
+                plaintext_values,
+                ciphertext_values,
+                value_index_candidates(ciphertext_values, plaintext_values),
+            ]
+        )
+    return rows, value_rows
+
+
+def test_thm5x_index_security(benchmark, nasa_systems):
+    rows, value_rows = benchmark.pedantic(
+        _run, args=(nasa_systems,), rounds=1, iterations=1
+    )
+    table = (
+        format_table(
+            ["case", "candidate databases", "notes"],
+            rows,
+            "Theorem 5.1 — structural-index candidates",
+        )
+        + "\n\n"
+        + format_table(
+            ["field", "k plaintext", "n ciphertext", "C(n-1, k-1)"],
+            value_rows,
+            "Theorem 5.2 — value-index candidates (NASA opt)",
+        )
+    )
+    write_result("thm5x_index_security", table)
+
+    assert rows[0][1] == 1001
+    # The top scheme groups heavily, so its structural candidate count is
+    # astronomically large.
+    top_candidates = next(r[1] for r in rows if "top" in r[0])
+    assert top_candidates > 10**6
+    # Every split field satisfies C(n−1,k−1) ≥ k (the Thm 6.1 inequality).
+    for _, k, n, candidates in value_rows:
+        if n > k:
+            assert candidates >= k

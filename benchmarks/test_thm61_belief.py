@@ -1,0 +1,79 @@
+"""E9 — Theorem 6.1: attacker belief never increases across a query stream.
+
+Runs a mixed workload of SC-captured queries against the hosted healthcare
+database while tracking the attacker's belief probabilities for each
+protected proposition; asserts the monotone non-increase the theorem
+proves and reports the belief trajectories.
+"""
+
+from fractions import Fraction
+
+from repro.bench.harness import format_table
+from repro.core.system import SecureXMLSystem
+from repro.security.belief import BeliefTracker
+from repro.workloads.healthcare import (
+    build_healthcare_database,
+    healthcare_constraints,
+)
+from repro.xmldb.stats import tag_histogram
+
+from conftest import write_result
+
+
+def _run():
+    document = build_healthcare_database()
+    constraints = healthcare_constraints()
+    system = SecureXMLSystem.host(document, constraints, scheme="opt")
+    tracker = BeliefTracker()
+
+    candidate_tags = len(tag_histogram(document))
+    queries = [
+        ("//insurance", "node", None),
+        ("//patient[pname='Betty'][SSN='763895']", "assoc", "SSN"),
+        ("//patient[pname='Betty'][SSN='763895']", "assoc", "SSN"),
+        ("//treat[disease='leukemia']/doctor", "assoc", "disease"),
+        ("//treat[disease='diarrhea']/doctor", "assoc", "disease"),
+        ("//insurance//policy#", "node", None),
+    ] * 10  # a 60-query observation stream
+
+    for query, query_kind, field in queries:
+        system.query(query)  # the attacker observes Qs and the response
+        if query_kind == "node":
+            tracker.observe_node_query(f"B({query})", candidate_tags)
+        else:
+            plan = system.hosted.field_plans[field]
+            plaintext_values = len(plan.ordered_values)
+            ciphertext_values = sum(
+                len(chunks) for chunks in plan.chunk_plan.values()
+            )
+            tracker.observe_association_query(
+                f"B({query})", plaintext_values, ciphertext_values
+            )
+    return tracker, len(queries)
+
+
+def test_thm61_belief_never_increases(benchmark):
+    tracker, observed = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for record in tracker.all_records():
+        rows.append(
+            [
+                record.proposition,
+                str(record.history[0]),
+                str(record.current),
+                len(record.history),
+                "yes" if record.never_increased() else "NO",
+            ]
+        )
+    table = format_table(
+        ["proposition", "initial belief", "final belief", "observations",
+         "monotone?"],
+        rows,
+        f"Theorem 6.1 — belief trajectories over {observed} observed queries",
+    )
+    write_result("thm61_belief", table)
+
+    assert tracker.secure()
+    for record in tracker.all_records():
+        assert record.current <= record.history[0]
+        assert record.current <= Fraction(1, 2)

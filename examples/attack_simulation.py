@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Mount the paper's attacks against naive and secure encryption designs.
+
+Simulates the §3.3 adversary — exact knowledge of every field's value
+frequencies — against three designs:
+
+* naive deterministic per-leaf encryption (the §4.1 strawman),
+* the decoy construction of Theorem 4.1 (database side),
+* the OPESS value index of Theorem 5.2 (metadata side),
+
+and additionally demonstrates the size-based attack failing against
+value-permuted candidate databases (Definition 3.1).
+
+Run:  python examples/attack_simulation.py
+"""
+
+from collections import Counter
+
+from repro import SecureXMLSystem
+from repro.security.attacks import FrequencyAttack, SizeAttack
+from repro.security.indistinguishability import (
+    breaks_association,
+    indistinguishable,
+    permute_field_values,
+)
+from repro.workloads.healthcare import (
+    build_healthcare_database,
+    healthcare_constraints,
+)
+from repro.xmldb.serializer import serialized_size
+from repro.xmldb.stats import value_frequencies
+
+
+def naive_histogram(histogram: Counter) -> Counter:
+    """Deterministic encryption preserves the frequency profile."""
+    return Counter(
+        {f"N{i}": count for i, (_, count) in enumerate(sorted(histogram.items()))}
+    )
+
+
+def decoy_histogram(histogram: Counter) -> Counter:
+    """Decoy encryption: every ciphertext appears exactly once."""
+    return Counter({f"D{i}": 1 for i in range(sum(histogram.values()))})
+
+
+def main() -> None:
+    document = build_healthcare_database()
+    constraints = healthcare_constraints()
+    system = SecureXMLSystem.host(document, constraints, scheme="opt")
+
+    print("=== Frequency-based attack (§3.3 / §4.1) ===")
+    fields = value_frequencies(document)
+    for field in sorted(system.hosted.field_plans):
+        prior = fields[field]
+        attack = FrequencyAttack(prior)
+
+        naive = attack.run(naive_histogram(prior), field)
+        decoy = attack.run(decoy_histogram(prior), field)
+        observed = system.hosted.value_index.ciphertext_histogram(
+            system.hosted.field_tokens[field]
+        )
+        opess = attack.run(observed, field)
+
+        print(f"\n  field {field!r} (domain {naive.domain_size}):")
+        print(f"    naive encryption : cracked {sorted(naive.cracked)} "
+              f"({naive.cracked_fraction:.0%})")
+        print(f"    decoy encryption : cracked {sorted(decoy.cracked)} "
+              f"— success probability {decoy.success_probability}")
+        print(f"    OPESS value index: cracked {sorted(opess.cracked)}")
+
+    print("\n=== Size-based attack (Definition 3.1) ===")
+    true_size = serialized_size(document)
+    attack = SizeAttack(true_size)
+    candidates = [
+        permute_field_values(document, "doctor", seed=seed)
+        for seed in range(6)
+    ]
+    sizes = [serialized_size(candidate) for candidate in candidates]
+    survivors = attack.surviving(sizes)
+    print(f"  candidate databases: {len(candidates)} "
+          f"(value-permuted over 'doctor')")
+    print(f"  surviving the size attack: {len(survivors)} of {len(candidates)}")
+
+    constraint = constraints[3]  # //treat:(/disease, /doctor)
+    broken = sum(
+        1
+        for candidate in candidates
+        if breaks_association(document, candidate, constraint)
+    )
+    consistent = sum(
+        1 for candidate in candidates if indistinguishable(document, candidate)
+    )
+    print(f"  indistinguishable from the true database: {consistent}")
+    print(f"  of which break the protected disease↔doctor association: "
+          f"{broken}")
+    print("\nConclusion: the attacker cannot separate the true database from"
+          " candidates that do not contain the protected associations —"
+          " the Definition 3.3 security condition, demonstrated.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Benchmark harness utilities shared by ``benchmarks/`` and ``examples/``."""
+
+from repro.bench.harness import (
+    QueryClassResult,
+    average_traces,
+    format_table,
+    run_query_class,
+    saving_ratio,
+)
+
+__all__ = [
+    "QueryClassResult",
+    "average_traces",
+    "format_table",
+    "run_query_class",
+    "saving_ratio",
+]

@@ -1,0 +1,5 @@
+"""An order-configurable B-tree used as the server-side value index (§5.2)."""
+
+from repro.btree.btree import BTree
+
+__all__ = ["BTree"]

@@ -1,0 +1,262 @@
+"""A from-scratch B-tree with duplicate-tolerant entries and range scans.
+
+The paper's value index is "a B-tree ... each data entry of the form
+⟨evalue, Bid⟩" (§5.2).  OPESS's *scaling* step deliberately inserts the same
+⟨evalue, Bid⟩ entry multiple times, so this tree maps each key to the *list*
+of payloads inserted under it, preserving duplicates — the replicated entry
+counts are exactly what the frequency-based attacker observes when profiling
+the index.
+
+The implementation is a classic Cormen-style B-tree parameterized by minimum
+degree ``t`` (max ``2t − 1`` keys per node), supporting insertion, exact
+search, inclusive range scans, in-order iteration and a structural invariant
+checker used by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class _BTreeNode:
+    """One node: sorted keys, per-key payload lists, child pointers."""
+
+    __slots__ = ("keys", "payloads", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+        self.payloads: list[list[Any]] = []
+        self.children: list[_BTreeNode] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """B-tree of minimum degree ``t`` (each node holds t−1 .. 2t−1 keys)."""
+
+    def __init__(self, min_degree: int = 16) -> None:
+        if min_degree < 2:
+            raise ValueError("minimum degree must be at least 2")
+        self._t = min_degree
+        self._root = _BTreeNode()
+        self._distinct_keys = 0
+        self._entry_count = 0
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of entries (duplicates counted)."""
+        return self._entry_count
+
+    @property
+    def distinct_keys(self) -> int:
+        return self._distinct_keys
+
+    def height(self) -> int:
+        """Number of levels (a lone root is height 1)."""
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    def node_count(self) -> int:
+        """Total nodes, a proxy for index size (§5.2 size-vs-scaling cost)."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, payload: Any) -> None:
+        """Insert one ⟨key, payload⟩ entry; duplicate keys accumulate."""
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _BTreeNode()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+            root = new_root
+        self._insert_nonfull(root, key, payload)
+        self._entry_count += 1
+
+    def _split_child(self, parent: _BTreeNode, index: int) -> None:
+        t = self._t
+        child = parent.children[index]
+        sibling = _BTreeNode()
+        # Median moves up; right half moves to the new sibling.
+        parent.keys.insert(index, child.keys[t - 1])
+        parent.payloads.insert(index, child.payloads[t - 1])
+        sibling.keys = child.keys[t:]
+        sibling.payloads = child.payloads[t:]
+        child.keys = child.keys[: t - 1]
+        child.payloads = child.payloads[: t - 1]
+        if not child.is_leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.children.insert(index + 1, sibling)
+
+    def _insert_nonfull(self, node: _BTreeNode, key: Any, payload: Any) -> None:
+        while True:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.payloads[index].append(payload)
+                return
+            if node.is_leaf:
+                node.keys.insert(index, key)
+                node.payloads.insert(index, [payload])
+                self._distinct_keys += 1
+                return
+            child = node.children[index]
+            if len(child.keys) == 2 * self._t - 1:
+                self._split_child(node, index)
+                if key == node.keys[index]:
+                    node.payloads[index].append(payload)
+                    return
+                if key > node.keys[index]:
+                    index += 1
+            node = node.children[index]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def search(self, key: Any) -> list[Any]:
+        """All payloads stored under ``key`` (empty list if absent)."""
+        node = self._root
+        while True:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return list(node.payloads[index])
+            if node.is_leaf:
+                return []
+            node = node.children[index]
+
+    def __contains__(self, key: Any) -> bool:
+        return bool(self.search(key))
+
+    def range_scan(
+        self, low: Optional[Any] = None, high: Optional[Any] = None
+    ) -> Iterator[tuple[Any, Any]]:
+        """Yield ⟨key, payload⟩ entries with ``low <= key <= high``.
+
+        ``None`` bounds are open; duplicates yield one tuple per stored
+        payload.  This is the operation translated value predicates compile
+        to (Fig. 7a turns every ``=``/``<``/... into a B-tree range query).
+        """
+        yield from self._scan(self._root, low, high)
+
+    def _scan(
+        self, node: _BTreeNode, low: Optional[Any], high: Optional[Any]
+    ) -> Iterator[tuple[Any, Any]]:
+        start = 0 if low is None else _lower_bound(node.keys, low)
+        for index in range(start, len(node.keys) + 1):
+            if not node.is_leaf:
+                # Descend left of keys[index] unless everything there < low.
+                yield from self._scan(node.children[index], low, high)
+            if index == len(node.keys):
+                break
+            key = node.keys[index]
+            if high is not None and key > high:
+                return
+            if low is None or key >= low:
+                for payload in node.payloads[index]:
+                    yield key, payload
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All entries in key order."""
+        yield from self.range_scan(None, None)
+
+    def keys(self) -> Iterator[Any]:
+        """Distinct keys in order."""
+        previous_sentinel = object()
+        previous: Any = previous_sentinel
+        for key, _ in self.items():
+            if previous is previous_sentinel or key != previous:
+                yield key
+                previous = key
+
+    def min_key(self) -> Any:
+        """Smallest key (raises on an empty tree) — supports MIN queries."""
+        node = self._root
+        if not node.keys:
+            raise KeyError("empty tree")
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    def max_key(self) -> Any:
+        """Largest key (raises on an empty tree) — supports MAX queries."""
+        node = self._root
+        if not node.keys:
+            raise KeyError("empty tree")
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1]
+
+    # ------------------------------------------------------------------
+    # Invariant checking (for tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any B-tree invariant is violated."""
+        leaf_depths: set[int] = set()
+        self._check_node(self._root, None, None, is_root=True, depth=0,
+                         leaf_depths=leaf_depths)
+        assert len(leaf_depths) <= 1, "leaves at differing depths"
+
+    def _check_node(
+        self,
+        node: _BTreeNode,
+        low: Optional[Any],
+        high: Optional[Any],
+        is_root: bool,
+        depth: int,
+        leaf_depths: set[int],
+    ) -> None:
+        t = self._t
+        assert len(node.keys) == len(node.payloads)
+        if not is_root:
+            assert len(node.keys) >= t - 1, "underfull node"
+        assert len(node.keys) <= 2 * t - 1, "overfull node"
+        assert node.keys == sorted(node.keys), "unsorted keys"
+        for key in node.keys:
+            if low is not None:
+                assert key > low, "key below subtree bound"
+            if high is not None:
+                assert key < high, "key above subtree bound"
+        for payload_list in node.payloads:
+            assert payload_list, "empty payload list"
+        if node.is_leaf:
+            leaf_depths.add(depth)
+            return
+        assert len(node.children) == len(node.keys) + 1, "child count mismatch"
+        bounds = [low] + node.keys + [high]
+        for index, child in enumerate(node.children):
+            self._check_node(
+                child,
+                bounds[index],
+                bounds[index + 1],
+                is_root=False,
+                depth=depth + 1,
+                leaf_depths=leaf_depths,
+            )
+
+
+def _lower_bound(keys: list[Any], key: Any) -> int:
+    """First index whose key is >= ``key`` (binary search)."""
+    low, high = 0, len(keys)
+    while low < high:
+        mid = (low + high) // 2
+        if keys[mid] < key:
+            low = mid + 1
+        else:
+            high = mid
+    return low

@@ -1,0 +1,283 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``demo``
+    Run the Figure 1 pipeline end-to-end on the paper's Figure 2 database
+    and print the per-stage trace.
+
+``host``
+    Generate a workload, host it under a scheme, and print hosting
+    statistics (blocks, sizes, index entries).
+
+``query``
+    Host a workload and evaluate one XPath query through the secure
+    pipeline, printing the answer and the trace.
+
+``schemes``
+    Compare all four scheme granularities on one workload (hosting cost +
+    query cost per §7.1 query class).
+
+``attack``
+    Mount the frequency-based attack against the strawman, decoy and
+    OPESS designs on a workload and print the outcome.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.system import SecureXMLSystem
+from repro.workloads.healthcare import (
+    EXAMPLE_QUERY,
+    build_healthcare_database,
+    healthcare_constraints,
+)
+from repro.workloads.nasa import build_nasa_database, nasa_constraints
+from repro.workloads.xmark import build_xmark_database, xmark_constraints
+
+WORKLOADS = ("healthcare", "xmark", "nasa")
+
+
+def build_workload(name: str, size: int, seed: int):
+    """Return (document, constraints) for a named workload."""
+    if name == "healthcare":
+        return build_healthcare_database(), healthcare_constraints()
+    if name == "xmark":
+        return (
+            build_xmark_database(person_count=size, seed=seed),
+            xmark_constraints(),
+        )
+    if name == "nasa":
+        return (
+            build_nasa_database(dataset_count=size, seed=seed),
+            nasa_constraints(),
+        )
+    raise ValueError(f"unknown workload {name!r}; expected one of {WORKLOADS}")
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", choices=WORKLOADS, default="healthcare",
+        help="which dataset to generate",
+    )
+    parser.add_argument(
+        "--scheme", choices=("opt", "app", "sub", "top", "leaf"),
+        default="opt", help="encryption-scheme granularity (§7.1)",
+    )
+    parser.add_argument(
+        "--size", type=int, default=50,
+        help="workload scale (persons / datasets; ignored for healthcare)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="generator seed")
+    parser.add_argument(
+        "--key", default=None,
+        help="master-key passphrase (defaults to the demo key)",
+    )
+
+
+def _master_key(args: argparse.Namespace) -> bytes:
+    from repro.core.system import _DEFAULT_MASTER_KEY
+    from repro.crypto.hmac import derive_key
+
+    if getattr(args, "key", None) is None:
+        return _DEFAULT_MASTER_KEY
+    return derive_key(args.key.encode("utf-8"), "cli-master")
+
+
+def _print_hosting(system: SecureXMLSystem) -> None:
+    trace = system.hosting_trace
+    print(f"scheme          : {trace.scheme_kind}")
+    print(f"covered fields  : {sorted(system.scheme.covered_fields)}")
+    print(f"blocks          : {trace.block_count}")
+    print(f"decoys          : {trace.decoy_count}")
+    print(f"plaintext bytes : {trace.plaintext_bytes}")
+    print(f"hosted bytes    : {trace.hosted_bytes}")
+    print(f"DSI entries     : {trace.index_entries}")
+    print(f"value entries   : {trace.value_index_entries}")
+    print(f"encrypt time    : {trace.encrypt_s:.3f}s")
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    document = build_healthcare_database()
+    system = SecureXMLSystem.host(
+        document, healthcare_constraints(), scheme="opt"
+    )
+    _print_hosting(system)
+    print(f"\nquery: {EXAMPLE_QUERY}")
+    answer = system.query(EXAMPLE_QUERY)
+    print(f"answer: {sorted(answer.values())}")
+    assert system.last_trace is not None
+    for key, value in system.last_trace.as_row().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_host(args: argparse.Namespace) -> int:
+    document, constraints = build_workload(args.workload, args.size, args.seed)
+    print(f"workload {args.workload}: {document.size()} nodes")
+    system = SecureXMLSystem.host(
+        document, constraints, scheme=args.scheme,
+        master_key=_master_key(args),
+    )
+    _print_hosting(system)
+    if args.save:
+        from repro.core.storage import save_system
+
+        save_system(system, args.save)
+        print(f"saved hosting to {args.save}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    if args.load:
+        from repro.core.storage import load_system
+
+        system = load_system(args.load, _master_key(args))
+    else:
+        document, constraints = build_workload(
+            args.workload, args.size, args.seed
+        )
+        system = SecureXMLSystem.host(
+            document, constraints, scheme=args.scheme
+        )
+    answer = system.query(args.xpath)
+    print(f"answers ({len(answer)}):")
+    for canonical in answer.canonical():
+        print(f"  {canonical}")
+    assert system.last_trace is not None
+    print("trace:")
+    for key, value in system.last_trace.as_row().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_schemes(args: argparse.Namespace) -> int:
+    from repro.bench.harness import format_table, run_query_class
+    from repro.workloads.queries import QueryWorkload
+
+    document, constraints = build_workload(args.workload, args.size, args.seed)
+    workload = QueryWorkload(document, seed=args.seed, per_class=5).by_class()
+    rows = []
+    for kind in ("top", "sub", "app", "opt"):
+        system = SecureXMLSystem.host(document, constraints, scheme=kind)
+        for query_class, queries in workload.items():
+            result = run_query_class(system, query_class, queries)
+            rows.append(
+                [kind, query_class, result.server_s, result.decrypt_s,
+                 result.postprocess_s, result.total_s]
+            )
+    print(format_table(
+        ["scheme", "class", "t_server", "t_decrypt", "t_post", "t_total"],
+        rows,
+        f"scheme comparison on {args.workload} ({document.size()} nodes)",
+    ))
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    from repro.security.attacks import (
+        FrequencyAttack,
+        ciphertext_block_histogram,
+    )
+    from repro.xmldb.stats import value_frequencies
+
+    document, constraints = build_workload(args.workload, args.size, args.seed)
+    strawman = SecureXMLSystem.host(
+        document, constraints, scheme="leaf", secure=False
+    )
+    production = SecureXMLSystem.host(document, constraints, scheme="opt")
+    fields = value_frequencies(document)
+    for field in sorted(production.hosted.field_plans):
+        token = strawman.hosted.field_tokens.get(field)
+        if token is None:
+            continue
+        attack = FrequencyAttack(fields[field])
+        naive = attack.run(
+            ciphertext_block_histogram(strawman.hosted, token), field
+        )
+        opess = attack.run(
+            production.hosted.value_index.ciphertext_histogram(
+                production.hosted.field_tokens[field]
+            ),
+            field,
+        )
+        print(
+            f"{field}: strawman cracked {len(naive.cracked)}/"
+            f"{naive.domain_size}, OPESS cracked {len(opess.cracked)}/"
+            f"{opess.domain_size}"
+        )
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.security.analysis import audit_system
+
+    document, constraints = build_workload(args.workload, args.size, args.seed)
+    system = SecureXMLSystem.host(
+        document, constraints, scheme=args.scheme,
+        master_key=_master_key(args),
+    )
+    report = audit_system(system, document)
+    print(report.render())
+    return 0 if not report.any_value_cracked else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Secure query evaluation over encrypted XML databases "
+        "(Wang & Lakshmanan, VLDB 2006)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="Figure 2 end-to-end demo")
+    demo.set_defaults(handler=cmd_demo)
+
+    host = subparsers.add_parser("host", help="host a workload, print stats")
+    _add_workload_arguments(host)
+    host.add_argument(
+        "--save", default=None, metavar="DIR",
+        help="persist the hosting to a directory",
+    )
+    host.set_defaults(handler=cmd_host)
+
+    query = subparsers.add_parser("query", help="run one secure query")
+    _add_workload_arguments(query)
+    query.add_argument(
+        "--load", default=None, metavar="DIR",
+        help="query a previously saved hosting instead of generating one",
+    )
+    query.add_argument("xpath", help="the XPath query to evaluate")
+    query.set_defaults(handler=cmd_query)
+
+    schemes = subparsers.add_parser(
+        "schemes", help="compare scheme granularities"
+    )
+    _add_workload_arguments(schemes)
+    schemes.set_defaults(handler=cmd_schemes)
+
+    attack = subparsers.add_parser(
+        "attack", help="frequency attack vs the defences"
+    )
+    _add_workload_arguments(attack)
+    attack.set_defaults(handler=cmd_attack)
+
+    audit = subparsers.add_parser(
+        "audit", help="full security audit of a hosting"
+    )
+    _add_workload_arguments(audit)
+    audit.set_defaults(handler=cmd_audit)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

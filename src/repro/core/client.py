@@ -1,0 +1,188 @@
+"""The client / data owner (§6.1, §6.4).
+
+The client owns the master key and the OPESS plans.  Its two runtime jobs:
+
+* **translate** a plaintext XPath query into the encrypted ``Qs`` — compile
+  the twig, swap encrypted tags for Vernam tokens, rewrite value predicates
+  into ciphertext key ranges (Figure 7);
+* **post-process** the server's fragments — decrypt blocks, strip decoys,
+  rebuild a pruned document in the original shape, and re-run the original
+  query on it, which restores exactness (``Q(δ(Qs(η(D)))) = Q(D)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.decoy import remove_decoys
+from repro.core.encryptor import HostedDatabase
+from repro.core.server import Fragment, ServerResponse
+from repro.core.translate import QueryTranslator, TranslatedQuery
+from repro.crypto.keyring import ClientKeyring
+from repro.crypto.modes import cbc_decrypt
+from repro.xmldb.node import (
+    Attribute,
+    Document,
+    Element,
+    EncryptedBlockNode,
+    Node,
+)
+from repro.xmldb.parser import ENCRYPTED_DATA_TAG, parse_fragment
+from repro.xmldb.serializer import serialize
+from repro.xpath import ast
+from repro.xpath.compiler import UnsupportedQuery, compile_pattern
+from repro.xpath.evaluator import evaluate
+from repro.xpath.parser import parse_xpath
+
+
+@dataclass
+class QueryAnswer:
+    """The final, exact answer to a query."""
+
+    nodes: list[Node]
+    pruned_document: Document
+
+    def canonical(self) -> list[str]:
+        """Order-insensitive canonical form, for comparing answer sets."""
+        return sorted(canonical_node(node) for node in self.nodes)
+
+    def values(self) -> list[str]:
+        """Leaf values of the answers (None-valued answers are skipped)."""
+        out = []
+        for node in self.nodes:
+            value = node.text_value()
+            if value is not None:
+                out.append(value)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def canonical_node(node: Node) -> str:
+    """Canonical string form of an answer node."""
+    if isinstance(node, Attribute):
+        return f"@{node.name}={node.value}"
+    return serialize(node)
+
+
+class Client:
+    """The data owner's runtime state after hosting."""
+
+    def __init__(self, keyring: ClientKeyring, hosted: HostedDatabase) -> None:
+        self._keyring = keyring
+        self._root_tag = hosted.root_tag
+        self._secure = hosted.secure
+        self._translator = QueryTranslator(
+            tag_cipher=keyring.tag_cipher,
+            ope=keyring.ope,
+            encrypted_tags=set(hosted.encrypted_tags),
+            plaintext_keys=set(hosted.plaintext_keys),
+            field_plans=dict(hosted.field_plans),
+            field_tokens=dict(hosted.field_tokens),
+        )
+
+    # ------------------------------------------------------------------
+    # Query translation (§6.1)
+    # ------------------------------------------------------------------
+    def translate(self, query: "str | ast.LocationPath") -> TranslatedQuery:
+        """Translate a query; raises UnsupportedQuery for the naive path."""
+        path = query if isinstance(query, ast.LocationPath) else parse_xpath(query)
+        pattern = compile_pattern(path)
+        return self._translator.translate(pattern)
+
+    # ------------------------------------------------------------------
+    # Decryption (§6.4, first half)
+    # ------------------------------------------------------------------
+    def decrypt_fragments(self, response: ServerResponse) -> list[tuple[Fragment, Element]]:
+        """Parse and fully decrypt every shipped fragment.
+
+        Each fragment becomes a plaintext element tree: nested
+        ``EncryptedData`` payloads are decrypted and spliced in, and decoys
+        are stripped.
+        """
+        decrypted = []
+        for fragment in response.fragments:
+            root = parse_fragment(fragment.xml)
+            root = self._resolve_encrypted_root(root)
+            self._decrypt_placeholders(root)
+            remove_decoys(root)
+            decrypted.append((fragment, root))
+        return decrypted
+
+    def _resolve_encrypted_root(self, root: Element) -> Element:
+        if root.tag != ENCRYPTED_DATA_TAG:
+            return root
+        attribute = root.attribute("block-id")
+        assert attribute is not None
+        payload = bytes.fromhex(root.text_value() or "")
+        return self._decrypt_block(int(attribute.value), payload)
+
+    def _decrypt_block(self, block_id: int, payload: bytes) -> Element:
+        iv = self._keyring.block_iv(block_id if self._secure else 0)
+        plaintext = cbc_decrypt(self._keyring.block_cipher, iv, payload)
+        return parse_fragment(plaintext.decode("utf-8"))
+
+    def _decrypt_placeholders(self, root: Element) -> None:
+        placeholders = [
+            node
+            for node in root.iter()
+            if isinstance(node, EncryptedBlockNode)
+        ]
+        for placeholder in placeholders:
+            subtree = self._decrypt_block(
+                placeholder.block_id, placeholder.payload
+            )
+            placeholder.replace_with(subtree)
+
+    # ------------------------------------------------------------------
+    # Post-processing (§6.4, second half)
+    # ------------------------------------------------------------------
+    def assemble(
+        self, decrypted: list[tuple[Fragment, Element]]
+    ) -> Document:
+        """Rebuild a pruned plaintext document from decrypted fragments.
+
+        Fragments re-attach under skeleton copies of their plaintext
+        ancestor chains (merged by the server's stable ancestor ids), so
+        absolute paths and depths in the original query keep their meaning.
+        """
+        whole_document = [
+            root for fragment, root in decrypted if not fragment.ancestor_path
+        ]
+        if whole_document:
+            # A fragment rooted at the document root subsumes everything.
+            return Document(whole_document[0])
+
+        pruned_root: Element | None = None
+        skeleton: dict[int, Element] = {}
+        for fragment, root in decrypted:
+            path = fragment.ancestor_path
+            top_tag, top_id = path[0]
+            if pruned_root is None:
+                pruned_root = Element(top_tag)
+                skeleton[top_id] = pruned_root
+            current = skeleton.get(top_id)
+            if current is None:
+                # Multiple distinct roots cannot happen in one document.
+                raise ValueError("fragments disagree on the document root")
+            for tag, ancestor_id in path[1:]:
+                node = skeleton.get(ancestor_id)
+                if node is None:
+                    node = Element(tag)
+                    skeleton[ancestor_id] = node
+                    current.append(node)
+                current = node
+            current.append(root)
+        if pruned_root is None:
+            pruned_root = Element(self._root_tag)
+        return Document(pruned_root)
+
+    def post_process(
+        self,
+        query: "str | ast.LocationPath",
+        pruned: Document,
+    ) -> QueryAnswer:
+        """Apply the original query to the pruned plaintext document."""
+        nodes = evaluate(pruned, query)
+        return QueryAnswer(nodes=nodes, pruned_document=pruned)

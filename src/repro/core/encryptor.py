@@ -1,0 +1,246 @@
+"""Hosting pipeline: encrypt a database under a scheme and build metadata.
+
+This is the client-side preparation step of Figure 1: given the plaintext
+database, the security constraints' chosen scheme and the keyring, produce
+
+* the hosted tree — the original document with every encryption-block
+  subtree replaced by an :class:`~repro.xmldb.node.EncryptedBlockNode`
+  (decoys injected, AES-CBC encrypted with per-block IVs);
+* the structural metadata — DSI index table + encryption block table;
+* the value metadata — OPESS field plans (client-secret) and the B-tree
+  value index (server-side);
+* the translation knowledge — which tags/fields occur encrypted and/or in
+  plaintext.
+
+Everything here is deterministic in (document, scheme, master key), which
+is what lets the client re-derive exactly the keys/weights used at hosting
+time when translating queries later.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.decoy import assert_no_reserved_tags, inject_decoys
+from repro.core.dsi import (
+    StructuralIndex,
+    assign_intervals,
+    build_structural_index,
+)
+from repro.core.opess import FieldPlan, ValueIndex, build_field_plan, build_value_index
+from repro.core.scheme import EncryptionScheme
+from repro.crypto.keyring import ClientKeyring
+from repro.crypto.modes import cbc_encrypt
+from repro.xmldb.node import (
+    Attribute,
+    Document,
+    Element,
+    EncryptedBlockNode,
+    Node,
+)
+from repro.xmldb.serializer import serialize
+from repro.xmldb.stats import leaf_field_name
+
+
+@dataclass
+class HostedDatabase:
+    """Everything produced by hosting; split between server and client."""
+
+    # --- server-side state ---
+    hosted_root: Node
+    structural_index: StructuralIndex
+    value_index: ValueIndex
+    blocks: dict[int, bytes]
+    placeholders: dict[int, EncryptedBlockNode]
+
+    # --- client-side knowledge ---
+    root_tag: str
+    encrypted_tags: set[str] = field(default_factory=set)
+    plaintext_keys: set[str] = field(default_factory=set)
+    field_plans: dict[str, FieldPlan] = field(default_factory=dict)
+    field_tokens: dict[str, str] = field(default_factory=dict)
+    decoy_count: int = 0
+    #: False only for the §4.1 strawman hosting (fixed IV, no decoys).
+    secure: bool = True
+    #: Per-field encrypted occurrences (value, block id) in document order.
+    #: Client-side knowledge retained to support the incremental-update
+    #: extension (field-granular value-index rebuilds).
+    occurrences: dict[str, list[tuple[str, int]]] = field(default_factory=dict)
+
+    def hosted_size_bytes(self) -> int:
+        """Size of the serialized hosted database, |E(D)|."""
+        return len(serialize(self.hosted_root).encode("utf-8"))
+
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+
+def host_database(
+    document: Document,
+    scheme: EncryptionScheme,
+    keyring: ClientKeyring,
+    secure: bool = True,
+) -> HostedDatabase:
+    """Encrypt ``document`` under ``scheme`` and build all metadata.
+
+    ``secure=False`` hosts the §4.1 *strawman*: no decoys and a fixed
+    block IV, so equal plaintext subtrees produce equal ciphertexts.  It
+    exists only so the attack experiments can demonstrate the
+    frequency-based attack succeeding against careless encryption; never
+    use it for real hosting.
+    """
+    assert_no_reserved_tags(document)
+    document.renumber()
+
+    # --- structural metadata on the original structure (pre-decoy) ---
+    intervals = assign_intervals(document, keyring.dsi_weight_stream())
+    block_ids = {
+        root_id: index + 1
+        for index, root_id in enumerate(sorted(scheme.block_root_ids))
+    }
+    structural_index = build_structural_index(
+        document,
+        intervals,
+        scheme.block_root_ids,
+        block_ids,
+        keyring.tag_cipher.encrypt_tag,
+    )
+
+    # --- classify nodes and gather value occurrences ---
+    owning_block = _owning_blocks(document, scheme.block_root_ids, block_ids)
+    encrypted_tags: set[str] = set()
+    plaintext_keys: set[str] = set()
+    occurrences: dict[str, list[tuple[str, int]]] = {}
+    for node in document.iter_with_attributes():
+        key = _node_key(node)
+        if key is None:
+            continue
+        block = owning_block.get(node.node_id)
+        if block is None:
+            plaintext_keys.add(key)
+            continue
+        encrypted_tags.add(key)
+        value = node.text_value()
+        if value is not None and (
+            isinstance(node, Attribute) or node.is_leaf_element
+        ):
+            occurrences.setdefault(leaf_field_name(node), []).append(
+                (value, block)
+            )
+
+    # --- OPESS value metadata ---
+    field_plans: dict[str, FieldPlan] = {}
+    field_tokens: dict[str, str] = {}
+    for field_name, occurrence_list in sorted(occurrences.items()):
+        histogram = Counter(value for value, _ in occurrence_list)
+        field_plans[field_name] = build_field_plan(
+            field_name,
+            histogram,
+            keyring.opess_stream(field_name),
+            keyring.ope,
+        )
+        field_tokens[field_name] = keyring.tag_cipher.encrypt_tag(field_name)
+    value_index = build_value_index(
+        occurrences, field_plans, field_tokens, keyring.ope
+    )
+
+    # --- build the hosted tree ---
+    hosted = document.clone()  # identical numbering after Document.__init__
+    decoy_stream = keyring.decoy_stream()
+    blocks: dict[int, bytes] = {}
+    placeholders: dict[int, EncryptedBlockNode] = {}
+    hosted_root: Node = hosted.root
+    decoy_count = 0
+    for root_id in sorted(scheme.block_root_ids):
+        block_id = block_ids[root_id]
+        subtree = hosted.node_by_id(root_id)
+        assert isinstance(subtree, Element)
+        if secure:
+            decoy_count += inject_decoys(subtree, decoy_stream)
+        plaintext_xml = serialize(subtree).encode("utf-8")
+        iv = keyring.block_iv(block_id) if secure else keyring.block_iv(0)
+        payload = cbc_encrypt(keyring.block_cipher, iv, plaintext_xml)
+        placeholder = EncryptedBlockNode(block_id, payload)
+        blocks[block_id] = payload
+        placeholders[block_id] = placeholder
+        if subtree is hosted_root:
+            hosted_root = placeholder
+        else:
+            subtree.replace_with(placeholder)
+    _renumber_hosted(hosted_root)
+
+    # --- attach server-visible plaintext info to index entries ---
+    # hosted.node_by_id still resolves *original* ids: _renumber_hosted
+    # rewrote the node_id fields but the Document's id map was built at
+    # clone time, and plaintext nodes were never detached from it.
+    for entry in structural_index.all_entries():
+        if entry.block_id is not None:
+            continue
+        assert len(entry.member_ids) == 1  # plaintext entries never group
+        hosted_node = hosted.node_by_id(entry.member_ids[0])
+        entry.hosted_node = hosted_node
+        entry.plaintext_value = hosted_node.text_value()
+
+    return HostedDatabase(
+        hosted_root=hosted_root,
+        structural_index=structural_index,
+        value_index=value_index,
+        blocks=blocks,
+        placeholders=placeholders,
+        root_tag=document.root.tag,
+        encrypted_tags=encrypted_tags,
+        plaintext_keys=plaintext_keys,
+        field_plans=field_plans,
+        field_tokens=field_tokens,
+        decoy_count=decoy_count,
+        secure=secure,
+        occurrences=occurrences,
+    )
+
+
+def _owning_blocks(
+    document: Document,
+    block_root_ids: frozenset[int],
+    block_ids: dict[int, int],
+) -> dict[int, int]:
+    owning: dict[int, int] = {}
+    for root_id in block_root_ids:
+        root = document.node_by_id(root_id)
+        assert isinstance(root, Element)
+        block = block_ids[root_id]
+        for node in root.iter():
+            owning[node.node_id] = block
+            if isinstance(node, Element):
+                for attribute in node.attributes:
+                    owning[attribute.node_id] = block
+    return owning
+
+
+def _node_key(node: Node) -> str | None:
+    """DSI-table key shape of a node: tag, ``@name``, or None for text."""
+    if isinstance(node, Attribute):
+        return f"@{node.name}"
+    if isinstance(node, Element):
+        return node.tag
+    return None
+
+
+def _renumber_hosted(root: Node) -> None:
+    """Assign fresh document-order ids over the hosted tree.
+
+    The hosted tree mixes elements, attributes and block placeholders; its
+    ids are the stable ancestor identifiers the server puts in fragment
+    paths (and the client uses to merge skeletons).
+    """
+    counter = 0
+    stack: list[Node] = [root]
+    while stack:
+        node = stack.pop()
+        node.node_id = counter
+        counter += 1
+        if isinstance(node, Element):
+            for attribute in node.attributes:
+                attribute.node_id = counter
+                counter += 1
+        stack.extend(reversed(node.children))

@@ -1,0 +1,451 @@
+"""OPESS: order-preserving encryption with splitting and scaling (§5.2).
+
+The value index must let the server answer range predicates without seeing
+values, against an adversary who knows the *exact* plaintext frequency of
+every field.  Plain order-preserving encryption fails that adversary —
+ciphertext frequencies mirror plaintext frequencies — so the paper layers
+two defences on top of an OPE function ``enc``:
+
+**Splitting** (flattening the distribution): find three consecutive chunk
+sizes ``m−1, m, m+1`` such that every occurrence count ``nᵢ`` decomposes as
+``nᵢ = k¹ᵢ(m−1) + k²ᵢ·m + k³ᵢ(m+1)``; map the i-th value's occurrences
+chunk-by-chunk to distinct ciphertexts, so every ciphertext occurs ``m−1``,
+``m`` or ``m+1`` times (Figure 6).  The j-th chunk of value ``v`` is
+displaced to ``enc(v + (w₁+…+w_j)·δ)`` where the ``w``'s are secret weights
+in ``(0, 1/(K+1))`` and ``δ`` is the value gap — which keeps ciphertexts of
+different plaintexts from straddling (requirement (*)).
+
+**Scaling** (defeating total-count reconciliation): splitting preserves
+``Σnᵢ``, so an attacker could group adjacent ciphertexts until they match a
+known count.  Each value therefore gets a random scale factor ``sᵢ`` and
+every index entry of its chunks is replicated ``sᵢ`` times, destroying the
+total-count invariant.
+
+Implementation notes (deviations are called out in DESIGN.md):
+
+* We take ``δ`` as the *minimum* gap between consecutive values.  The
+  paper's prose says maximum, but its own non-straddling requirement (*)
+  needs displacements smaller than the gap to the *next* value, which only
+  the minimum gap guarantees in general (the paper's worked example uses
+  two consecutive values, where the two coincide).
+* Weights are drawn on a discrete grid inside ``(0, 1/(K+1))`` so that
+  distinct displacements survive the OPE function's fixed-point
+  quantization; when the natural gap is too small the whole field is
+  stretched by an integer factor the client remembers.
+* Categorical domains are mapped to integer ranks ("If the domain is not
+  real or rational, then we map it to such a domain.  The client keeps the
+  mapping.").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.btree import BTree
+from repro.crypto.ope import OrderPreservingEncryption
+from repro.crypto.prf import DeterministicRandom
+
+
+def find_chunk_triple(counts: list[int]) -> int:
+    """Choose the paper's ``m``: the largest middle chunk size that works.
+
+    ``m`` works when every count ≥ 2 is expressible with chunk sizes
+    ``(m−1, m, m+1)``; a count ``n`` is expressible iff some chunk count
+    ``t`` satisfies ``t(m−1) ≤ n ≤ t(m+1)``.  Counts of 1 are handled by
+    the separate singleton rule and don't constrain ``m``.  ``(2,3,4)``
+    (m = 3) always works, and the paper picks the maximum ``m`` "so
+    intuitively the number of keys needed is reduced".
+    """
+    relevant = [n for n in counts if n >= 2]
+    if not relevant:
+        return 3
+    upper = min(relevant) + 1
+    for m in range(upper, 2, -1):
+        if all(_expressible(n, m) for n in relevant):
+            return m
+    return 3  # unreachable in practice: m=3 expresses every n >= 2
+
+
+def _expressible(n: int, m: int) -> bool:
+    low_t = -(-n // (m + 1))  # ceil
+    high_t = n // (m - 1)
+    return low_t <= high_t
+
+
+def decompose_count(n: int, m: int) -> list[int]:
+    """Split ``n`` occurrences into chunks of size m−1, m or m+1.
+
+    Returns the concrete chunk-size list (e.g. 34 with m = 7 →
+    ``[6, 7, 7, 7, 7]``, the paper's 34 = 1·6 + 4·7 + 0·8 example).
+    """
+    if n < 2:
+        raise ValueError("singleton counts use the dedicated rule")
+    t = -(-n // (m + 1))
+    while t * (m - 1) > n:  # pragma: no cover - guarded by find_chunk_triple
+        t += 1
+    remainder = n - t * m
+    if remainder >= 0:
+        chunks = [m + 1] * remainder + [m] * (t - remainder)
+    else:
+        chunks = [m - 1] * (-remainder) + [m] * (t + remainder)
+    assert sum(chunks) == n and len(chunks) == t
+    return sorted(chunks)
+
+
+@dataclass
+class FieldPlan:
+    """The client's secret OPESS parameters for one leaf field."""
+
+    field_name: str
+    is_numeric: bool
+    #: plaintext value → position on the (possibly stretched) number line
+    mapping: dict[str, float]
+    #: sorted plaintext values (by position)
+    ordered_values: list[str]
+    m: int
+    #: K sorted secret splitting weights in (0, 1/(K+1))
+    weights: list[float]
+    #: minimum gap between consecutive positions
+    delta: float
+    #: integer stretch factor applied to numeric domains
+    stretch: int
+    #: value → chunk sizes
+    chunk_plan: dict[str, list[int]]
+    #: value → scale factor sᵢ ∈ [1, 10]
+    scales: dict[str, int]
+
+    @property
+    def key_count(self) -> int:
+        """K: the number of splitting weights (the paper's key count)."""
+        return len(self.weights)
+
+    def position(self, value: str) -> Optional[float]:
+        """Line position of a known plaintext value (None when unknown)."""
+        return self.mapping.get(value)
+
+    def position_for_literal(self, literal: str) -> Optional[float]:
+        """Line position for a query literal, known or not.
+
+        Numeric literals always have a position (the stretched number);
+        unknown categorical literals interpolate between neighbouring
+        ranks so inequality predicates stay meaningful.
+        """
+        known = self.mapping.get(literal)
+        if known is not None:
+            return known
+        if self.is_numeric:
+            try:
+                return float(literal) * self.stretch
+            except ValueError:
+                return None
+        # Unknown categorical literal: position strictly between the ranks
+        # of its lexicographic neighbours.
+        rank = sum(1 for value in self.ordered_values if value < literal)
+        return (rank - 0.5) * _CATEGORICAL_SPACING * self.stretch
+
+    def value_at_position(self, position: float) -> Optional[str]:
+        """Invert the mapping: which plaintext value owns this position?
+
+        A chunk ciphertext decrypts to ``position(v) + displacement`` with
+        ``displacement < δ``, and consecutive value positions are at least
+        ``δ`` apart, so the owning value is the largest value whose
+        position is ≤ the decrypted position (within a half-δ tolerance
+        below, to absorb OPE quantization).  Returns None when the
+        position falls below every value.
+        """
+        best: Optional[str] = None
+        for value in self.ordered_values:
+            if self.mapping[value] <= position + self.delta * 1e-6:
+                best = value
+            else:
+                break
+        return best
+
+    def displacement(self, chunk_index: int) -> float:
+        """Cumulative displacement (w₁+…+w_j)·δ of the j-th chunk (1-based)."""
+        return sum(self.weights[:chunk_index]) * self.delta
+
+    @property
+    def max_displacement(self) -> float:
+        return self.displacement(len(self.weights))
+
+
+_CATEGORICAL_SPACING = 1.0
+
+
+def build_field_plan(
+    field_name: str,
+    histogram: Counter,
+    stream: DeterministicRandom,
+    ope: OrderPreservingEncryption,
+) -> FieldPlan:
+    """Derive the OPESS plan for one field from its plaintext histogram."""
+    if not histogram:
+        raise ValueError("cannot plan an empty field")
+    values = list(histogram)
+    is_numeric = all(_is_number(value) for value in values)
+
+    if is_numeric:
+        base_positions = {value: float(value) for value in values}
+    else:
+        ranked = sorted(values)
+        base_positions = {
+            value: rank * _CATEGORICAL_SPACING
+            for rank, value in enumerate(ranked)
+        }
+
+    ordered = sorted(values, key=lambda value: base_positions[value])
+    gaps = [
+        base_positions[b] - base_positions[a]
+        for a, b in zip(ordered, ordered[1:])
+    ]
+    positive_gaps = [gap for gap in gaps if gap > 0]
+    if len(positive_gaps) != len(gaps):
+        raise ValueError(f"field {field_name!r} has duplicate positions")
+    delta = min(positive_gaps) if positive_gaps else 1.0
+
+    m = find_chunk_triple(list(histogram.values()))
+    chunk_plan: dict[str, list[int]] = {}
+    for value in ordered:
+        count = histogram[value]
+        if count == 1:
+            # The paper's singleton rule: split a unique occurrence into m
+            # ciphertext values (all indexing the same occurrence).
+            chunk_plan[value] = [1] * m
+        else:
+            chunk_plan[value] = decompose_count(count, m)
+    key_count = max(len(chunks) for chunks in chunk_plan.values())
+
+    # Stretch the domain if the weight grid would collide under the OPE
+    # quantization: we need grid_step * delta >= 10 quantization steps.
+    grid_cells = 4 * key_count * (key_count + 1)
+    min_step = 1.0 / grid_cells
+    required = 10.0 / ope.scale
+    stretch = 1
+    if min_step * delta < required:
+        stretch = int(required / (min_step * delta)) + 1
+    if stretch > 1:
+        base_positions = {
+            value: position * stretch
+            for value, position in base_positions.items()
+        }
+        delta *= stretch
+    # Sanity: the stretched domain must still fit the OPE domain.
+    for value in (ordered[0], ordered[-1]):
+        ope.quantize(base_positions[value] + delta)
+
+    weights = _draw_weights(key_count, stream)
+    scales = {value: stream.randint(1, 10) for value in ordered}
+
+    return FieldPlan(
+        field_name=field_name,
+        is_numeric=is_numeric,
+        mapping=base_positions,
+        ordered_values=ordered,
+        m=m,
+        weights=weights,
+        delta=delta,
+        stretch=stretch,
+        chunk_plan=chunk_plan,
+        scales=scales,
+    )
+
+
+def _draw_weights(key_count: int, stream: DeterministicRandom) -> list[float]:
+    """K distinct weights on a grid inside (0, 1/(K+1)).
+
+    Drawing on a grid guarantees pairwise separation of at least one grid
+    step, which the caller has already sized against the OPE quantization.
+    """
+    cells = 4 * key_count * (key_count + 1)
+    chosen: set[int] = set()
+    while len(chosen) < key_count:
+        chosen.add(stream.randint(1, cells))
+    return [cell / (cells * (key_count + 1.0)) for cell in sorted(chosen)]
+
+
+def _is_number(value: str) -> bool:
+    try:
+        float(value)
+    except ValueError:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class KeyRange:
+    """An inclusive ciphertext key range for the B-tree (None = open)."""
+
+    low: Optional[int]
+    high: Optional[int]
+
+
+def chunk_ciphertexts(plan: FieldPlan, value: str, ope: OrderPreservingEncryption) -> list[int]:
+    """The OPE ciphertexts of every chunk of ``value`` (ordered)."""
+    position = plan.position(value)
+    if position is None:
+        raise KeyError(f"value {value!r} not in field plan")
+    return [
+        ope.encrypt_float(position + plan.displacement(j))
+        for j in range(1, len(plan.chunk_plan[value]) + 1)
+    ]
+
+
+def translate_predicate(
+    plan: FieldPlan,
+    op: str,
+    literal: str,
+    ope: OrderPreservingEncryption,
+) -> list[KeyRange]:
+    """Figure 7(a): translate a value predicate into B-tree key ranges.
+
+    Every operator becomes zero, one or two inclusive ranges over
+    ciphertext keys.  For a literal that is a known domain value, the
+    bounds are the paper's: the value's first-chunk ciphertext
+    ``enc(v + w₁δ)`` and its last possible chunk ``enc(v + (Σw)δ)`` —
+    non-straddling (*) guarantees these cover exactly the value's chunks.
+
+    For a literal *between* domain values the bounds are anchored on its
+    known neighbours instead: a displaced chunk of value ``v`` can exceed
+    the literal's own position (displacements reach almost δ), so naive
+    position-based bounds would drop matching chunks; neighbour anchoring
+    keeps the translation exact.
+    """
+    position = plan.position_for_literal(literal)
+    if position is None:
+        return []
+    known = plan.position(literal) is not None
+
+    def enc(displaced: float) -> int:
+        return ope.encrypt_float(displaced)
+
+    def first_chunk(value: str) -> float:
+        return plan.mapping[value] + plan.weights[0] * plan.delta
+
+    def last_chunk(value: str) -> float:
+        return plan.mapping[value] + plan.max_displacement
+
+    if known:
+        low_bound = enc(first_chunk(literal))
+        high_bound = enc(last_chunk(literal))
+        if op == "=":
+            return [KeyRange(low_bound, high_bound)]
+        if op == "!=":
+            return [
+                KeyRange(None, low_bound - 1),
+                KeyRange(high_bound + 1, None),
+            ]
+        if op == "<":
+            return [KeyRange(None, low_bound - 1)]
+        if op == "<=":
+            return [KeyRange(None, high_bound)]
+        if op == ">":
+            return [KeyRange(high_bound + 1, None)]
+        if op == ">=":
+            return [KeyRange(low_bound, None)]
+        raise ValueError(f"unsupported operator {op!r}")
+
+    # Unknown literal: anchor on its neighbouring domain values.
+    below = None
+    above = None
+    for value in plan.ordered_values:
+        if plan.mapping[value] < position:
+            below = value
+        elif plan.mapping[value] > position and above is None:
+            above = value
+    if op == "=":
+        return []
+    if op == "!=":
+        return [KeyRange(None, None)]
+    if op in ("<", "<="):
+        if below is None:
+            return []
+        return [KeyRange(None, enc(last_chunk(below)))]
+    if op in (">", ">="):
+        if above is None:
+            return []
+        return [KeyRange(enc(first_chunk(above)), None)]
+    raise ValueError(f"unsupported operator {op!r}")
+
+
+@dataclass
+class ValueIndex:
+    """The server-side value index: one B-tree per (encrypted) field token."""
+
+    trees: dict[str, BTree] = field(default_factory=dict)
+
+    def tree_for(self, field_token: str) -> Optional[BTree]:
+        return self.trees.get(field_token)
+
+    def lookup_blocks(
+        self, field_token: str, ranges: list[KeyRange]
+    ) -> set[int]:
+        """Block ids whose entries fall in any of the key ranges."""
+        tree = self.trees.get(field_token)
+        if tree is None:
+            return set()
+        blocks: set[int] = set()
+        for key_range in ranges:
+            for _, block_id in tree.range_scan(key_range.low, key_range.high):
+                blocks.add(block_id)
+        return blocks
+
+    def total_entries(self) -> int:
+        return sum(len(tree) for tree in self.trees.values())
+
+    def ciphertext_histogram(self, field_token: str) -> Counter:
+        """What the frequency attacker sees: key → entry count."""
+        tree = self.trees.get(field_token)
+        histogram: Counter = Counter()
+        if tree is None:
+            return histogram
+        for key, _ in tree.items():
+            histogram[key] += 1
+        return histogram
+
+
+def build_value_index(
+    occurrences: dict[str, list[tuple[str, int]]],
+    plans: dict[str, FieldPlan],
+    field_tokens: dict[str, str],
+    ope: OrderPreservingEncryption,
+    min_degree: int = 16,
+) -> ValueIndex:
+    """Build B-trees from per-field occurrence lists.
+
+    ``occurrences[field]`` lists ``(value, block_id)`` for every encrypted
+    occurrence, in document order.  Occurrences of a value are dealt to its
+    chunks in order; every resulting ⟨ciphertext, block⟩ entry is inserted
+    ``sᵢ`` times (the scaling step).
+    """
+    index = ValueIndex()
+    for field_name, occurrence_list in occurrences.items():
+        plan = plans[field_name]
+        tree = BTree(min_degree=min_degree)
+        by_value: dict[str, list[int]] = {}
+        for value, block_id in occurrence_list:
+            by_value.setdefault(value, []).append(block_id)
+        for value, block_ids in by_value.items():
+            ciphertexts = chunk_ciphertexts(plan, value, ope)
+            chunks = plan.chunk_plan[value]
+            scale = plan.scales[value]
+            if len(block_ids) == 1 and len(chunks) > 1:
+                # Singleton rule: every chunk indexes the one occurrence.
+                assignments = [
+                    (ciphertext, block_ids[0]) for ciphertext in ciphertexts
+                ]
+            else:
+                assignments = []
+                cursor = 0
+                for ciphertext, chunk_size in zip(ciphertexts, chunks):
+                    for block_id in block_ids[cursor : cursor + chunk_size]:
+                        assignments.append((ciphertext, block_id))
+                    cursor += chunk_size
+                assert cursor == len(block_ids)
+            for ciphertext, block_id in assignments:
+                for _ in range(scale):
+                    tree.insert(ciphertext, block_id)
+        index.trees[field_tokens[field_name]] = tree
+    return index

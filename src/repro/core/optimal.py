@@ -1,0 +1,147 @@
+"""Optimal and approximate secure encryption schemes (§4.2).
+
+Theorem 4.2 shows that finding the optimal secure encryption scheme is
+NP-hard by reduction from VERTEX COVER, and the paper's remedy is the
+classical approximation literature: "we can adapt any of them to devise an
+algorithm ... whose cost is no worse than twice the optimal cost", naming
+Clarkson's modification of the greedy algorithm [10] as the one used for
+the ``app`` scheme in the experiments.
+
+This module provides three weighted-vertex-cover solvers over the
+constraint graph:
+
+* :func:`exact_min_cover` — branch-and-bound, exact.  Exponential in the
+  number of *fields in the SCs* (not the database), which is tiny in
+  practice — exactly the regime the paper's ``opt`` scheme lives in.
+* :func:`clarkson_greedy_cover` — Clarkson's modified greedy 2-approximation
+  (the paper's ``app`` scheme).
+* :func:`pricing_cover` — the primal-dual / pricing 2-approximation, kept as
+  an ablation comparator for the optimality-gap benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.core.constraint_graph import ConstraintGraph
+
+
+def cover_weight(graph: ConstraintGraph, cover: set[str]) -> int:
+    """Total encryption cost of a cover."""
+    return sum(graph.weights[vertex] for vertex in cover)
+
+
+def _forced_vertices(graph: ConstraintGraph) -> set[str]:
+    """Vertices forced into every cover by self-loop edges."""
+    forced: set[str] = set()
+    for edge in graph.edges:
+        if len(edge) == 1:
+            forced |= edge
+    return forced
+
+
+def exact_min_cover(graph: ConstraintGraph, limit: int = 24) -> set[str]:
+    """Minimum-weight vertex cover by branch and bound.
+
+    ``limit`` guards against accidentally feeding a huge graph to the exact
+    solver; the paper's constraint graphs have a handful of vertices.
+    """
+    vertices = graph.vertices
+    if len(vertices) > limit:
+        raise ValueError(
+            f"exact cover limited to {limit} vertices; "
+            f"got {len(vertices)} — use an approximation"
+        )
+    forced = _forced_vertices(graph)
+    open_edges = [
+        tuple(sorted(edge))
+        for edge in graph.edges
+        if len(edge) == 2 and not (edge & forced)
+    ]
+
+    best_cover: set[str] = set(vertices)
+    best_weight = cover_weight(graph, best_cover | forced)
+
+    def branch(index: int, chosen: set[str], weight: int) -> None:
+        nonlocal best_cover, best_weight
+        if weight >= best_weight:
+            return
+        # Find the next uncovered edge.
+        while index < len(open_edges):
+            u, v = open_edges[index]
+            if u in chosen or v in chosen:
+                index += 1
+                continue
+            # Branch on covering this edge with u or with v.
+            branch(index + 1, chosen | {u}, weight + graph.weights[u])
+            branch(index + 1, chosen | {v}, weight + graph.weights[v])
+            return
+        if weight < best_weight:
+            best_weight = weight
+            best_cover = set(chosen)
+
+    branch(0, set(forced), cover_weight(graph, forced))
+    assert graph.is_vertex_cover(best_cover)
+    return best_cover
+
+
+def clarkson_greedy_cover(graph: ConstraintGraph) -> set[str]:
+    """Clarkson's modified greedy weighted-vertex-cover 2-approximation.
+
+    Repeatedly pick the vertex minimizing ``weight / degree`` over the
+    remaining graph, then *charge* that ratio to each neighbour's weight
+    before deleting the vertex.  The charging step is Clarkson's
+    modification [Clarkson 1983]; it is what turns the unbounded plain
+    greedy into a factor-2 algorithm.
+    """
+    forced = _forced_vertices(graph)
+    cover: set[str] = set(forced)
+    weights = {v: float(graph.weights[v]) for v in graph.vertices}
+    edges = {
+        tuple(sorted(edge))
+        for edge in graph.edges
+        if len(edge) == 2 and not (edge & forced)
+    }
+
+    def degree(vertex: str) -> int:
+        return sum(1 for edge in edges if vertex in edge)
+
+    while edges:
+        candidates = {v for edge in edges for v in edge}
+        chosen = min(candidates, key=lambda v: weights[v] / degree(v))
+        ratio = weights[chosen] / degree(chosen)
+        for edge in list(edges):
+            if chosen in edge:
+                other = edge[0] if edge[1] == chosen else edge[1]
+                weights[other] -= ratio
+                edges.remove(edge)
+        cover.add(chosen)
+    assert graph.is_vertex_cover(cover)
+    return cover
+
+
+def pricing_cover(graph: ConstraintGraph) -> set[str]:
+    """Primal-dual (pricing) 2-approximation for weighted vertex cover.
+
+    Each edge raises the "price" of its endpoints until one becomes tight
+    (price == weight); tight vertices join the cover.  Included as a second
+    approximation for the §4.2 ablation benchmark.
+    """
+    forced = _forced_vertices(graph)
+    cover: set[str] = set(forced)
+    paid = {v: 0.0 for v in graph.vertices}
+    for edge in sorted(
+        (tuple(sorted(e)) for e in graph.edges if len(e) == 2),
+    ):
+        u, v = edge
+        if u in cover or v in cover:
+            continue
+        slack_u = graph.weights[u] - paid[u]
+        slack_v = graph.weights[v] - paid[v]
+        raise_by = min(slack_u, slack_v)
+        paid[u] += raise_by
+        paid[v] += raise_by
+        if paid[u] >= graph.weights[u]:
+            cover.add(u)
+        if paid[v] >= graph.weights[v]:
+            cover.add(v)
+    assert graph.is_vertex_cover(cover)
+    return cover

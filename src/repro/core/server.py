@@ -1,0 +1,142 @@
+"""The untrusted server (§6.2).
+
+The server holds the hosted (partially encrypted) database and the metadata
+— DSI index table, encryption block table, B-tree value index — and answers
+translated queries by structural joins and index lookups alone.  It never
+holds a key and never sees plaintext beyond what the chosen encryption
+scheme legitimately leaves in the clear.
+
+For each query the server ships *fragments*: the hosted subtrees (or whole
+encryption blocks) rooted at the matches of the query's ship node, each
+tagged with its plaintext ancestor path so the client can rebuild a pruned
+document and re-evaluate the original query exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dsi import IndexEntry, StructuralIndex
+from repro.core.encryptor import HostedDatabase
+from repro.core.opess import ValueIndex
+from repro.core.structural_join import MatchResult, match_pattern
+from repro.core.translate import TranslatedQuery
+from repro.xmldb.node import Attribute, Element, EncryptedBlockNode, Node
+from repro.xmldb.serializer import serialize
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One shipped result unit: subtree XML plus its ancestor path."""
+
+    #: ((tag, hosted-node-id), ...) from the document root down to the
+    #: fragment root's parent; empty when the fragment root *is* the root.
+    ancestor_path: tuple[tuple[str, int], ...]
+    xml: str
+
+    def size_bytes(self) -> int:
+        overhead = sum(len(tag) + 8 for tag, _ in self.ancestor_path)
+        return len(self.xml.encode("utf-8")) + overhead
+
+
+@dataclass
+class ServerResponse:
+    """The answer to one translated query."""
+
+    fragments: list[Fragment]
+    naive: bool = False
+    blocks_shipped: int = 0
+    candidate_counts: dict[str, int] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return sum(fragment.size_bytes() for fragment in self.fragments)
+
+
+class Server:
+    """Query executor over the hosted database and metadata."""
+
+    def __init__(self, hosted: HostedDatabase) -> None:
+        self._hosted_root = hosted.hosted_root
+        self._structure: StructuralIndex = hosted.structural_index
+        self._values: ValueIndex = hosted.value_index
+        self._placeholders = hosted.placeholders
+
+    # ------------------------------------------------------------------
+    # Normal path: §6.2 steps 1-3
+    # ------------------------------------------------------------------
+    def answer(self, query: TranslatedQuery) -> ServerResponse:
+        """Evaluate a translated query and assemble the fragments."""
+        result: MatchResult = match_pattern(query, self._structure, self._values)
+        roots = self._fragment_roots(result.ship_entries)
+        fragments = [self._make_fragment(node) for node in roots]
+        blocks = sum(
+            1 for node in roots if isinstance(node, EncryptedBlockNode)
+        )
+        return ServerResponse(
+            fragments=fragments,
+            blocks_shipped=blocks,
+            candidate_counts=result.candidate_counts,
+        )
+
+    # ------------------------------------------------------------------
+    # Fallback path: the naive ship-everything protocol (§7.3 baseline)
+    # ------------------------------------------------------------------
+    def ship_all(self) -> ServerResponse:
+        """Send the entire hosted database (the naive method)."""
+        fragment = Fragment(ancestor_path=(), xml=serialize(self._hosted_root))
+        return ServerResponse(
+            fragments=[fragment],
+            naive=True,
+            blocks_shipped=len(self._placeholders),
+        )
+
+    # ------------------------------------------------------------------
+    # Fragment assembly
+    # ------------------------------------------------------------------
+    def _fragment_roots(self, entries: list[IndexEntry]) -> list[Node]:
+        """Hosted nodes to ship, deduplicated and non-nested."""
+        nodes: dict[int, Node] = {}
+        for entry in entries:
+            node = self._node_for(entry)
+            if node is not None:
+                nodes[id(node)] = node
+        # Drop nodes nested inside other shipped nodes.
+        chosen = list(nodes.values())
+        chosen_ids = {id(node) for node in chosen}
+        kept = []
+        for node in chosen:
+            if any(id(anc) in chosen_ids for anc in node.ancestors()):
+                continue
+            kept.append(node)
+        kept.sort(key=lambda node: node.node_id)
+        return kept
+
+    def _node_for(self, entry: IndexEntry) -> Node | None:
+        if entry.block_id is not None:
+            return self._placeholders.get(entry.block_id)
+        node = entry.hosted_node
+        if isinstance(node, Attribute):
+            # Attributes ship with their owning element.
+            return node.parent
+        return node
+
+    def _make_fragment(self, node: Node) -> Fragment:
+        path = []
+        for ancestor in reversed(list(node.ancestors())):
+            assert isinstance(ancestor, Element)
+            path.append((ancestor.tag, ancestor.node_id))
+        return Fragment(ancestor_path=tuple(path), xml=serialize(node))
+
+    # ------------------------------------------------------------------
+    # Observable state (what an attacker on the server sees)
+    # ------------------------------------------------------------------
+    def hosted_size_bytes(self) -> int:
+        return len(serialize(self._hosted_root).encode("utf-8"))
+
+    @property
+    def structural_index(self) -> StructuralIndex:
+        return self._structure
+
+    @property
+    def value_index(self) -> ValueIndex:
+        return self._values

@@ -1,0 +1,254 @@
+"""Persistence of hosted databases (deployment support).
+
+In the DAS setting of Figure 1 the encrypted database and its metadata
+*live* at the server between sessions.  This module serializes everything
+a server stores — the hosted tree with its ciphertext blocks, the DSI
+index table, the encryption block table and the B-tree value index — plus
+a separate client-state file that stays with the data owner, and rebuilds
+a working :class:`~repro.core.system.SecureXMLSystem` from disk + the
+master key.
+
+Layout of a saved hosting::
+
+    <directory>/
+      hosted.xml          # the partially encrypted tree (server-side)
+      server_meta.json    # DSI table, block table, value index (server-side)
+      client_state.json   # owner's knowledge: tag sets, occurrences
+                          # (client-side — contains plaintext values; it
+                          #  must never be given to the server)
+
+Field plans, tag tokens and every key are *re-derived* from the master key
+on load (the whole pipeline is deterministic in it), so the client file
+holds only what cannot be derived: which tags/fields exist on which side,
+and the per-field occurrence lists that power incremental updates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+
+from repro.btree import BTree
+from repro.core.client import Client
+from repro.core.dsi import IndexEntry, Interval, StructuralIndex
+from repro.core.encryptor import HostedDatabase, _renumber_hosted
+from repro.core.opess import ValueIndex, build_field_plan
+from repro.core.scheme import EncryptionScheme
+from repro.core.server import Server
+from repro.core.system import HostingTrace, SecureXMLSystem
+from repro.crypto.keyring import ClientKeyring
+from repro.netsim.channel import Channel
+from repro.xmldb.node import Element, EncryptedBlockNode, Node
+from repro.xmldb.parser import ENCRYPTED_DATA_TAG, parse_fragment
+from repro.xmldb.serializer import serialize
+
+_FORMAT_VERSION = 1
+
+
+def save_system(system: SecureXMLSystem, directory: str) -> None:
+    """Persist a hosted system's server and client state to a directory."""
+    os.makedirs(directory, exist_ok=True)
+    hosted = system.hosted
+
+    with open(os.path.join(directory, "hosted.xml"), "w", encoding="utf-8") as f:
+        f.write(serialize(hosted.hosted_root))
+
+    entries = hosted.structural_index.all_entries()
+    entry_index = {id(entry): position for position, entry in enumerate(entries)}
+    server_meta = {
+        "version": _FORMAT_VERSION,
+        "dsi": [
+            {
+                "key": entry.key,
+                "low": entry.interval.low,
+                "high": entry.interval.high,
+                "members": list(entry.member_ids),
+                "block": entry.block_id,
+                "parent": entry_index.get(id(entry.parent)),
+                "value": entry.plaintext_value,
+                "hosted_id": (
+                    entry.hosted_node.node_id
+                    if entry.hosted_node is not None
+                    else None
+                ),
+            }
+            for entry in entries
+        ],
+        "block_table": {
+            str(block_id): [interval.low, interval.high]
+            for block_id, interval in (
+                hosted.structural_index.block_table.items()
+            )
+        },
+        "value_index": {
+            token: [[key, block] for key, block in tree.items()]
+            for token, tree in hosted.value_index.trees.items()
+        },
+    }
+    with open(
+        os.path.join(directory, "server_meta.json"), "w", encoding="utf-8"
+    ) as f:
+        json.dump(server_meta, f)
+
+    client_state = {
+        "version": _FORMAT_VERSION,
+        "root_tag": hosted.root_tag,
+        "secure": hosted.secure,
+        "scheme_kind": system.scheme.kind,
+        "covered_fields": sorted(system.scheme.covered_fields),
+        "encrypted_tags": sorted(hosted.encrypted_tags),
+        "plaintext_keys": sorted(hosted.plaintext_keys),
+        "occurrences": {
+            field: [[value, block] for value, block in occurrence_list]
+            for field, occurrence_list in hosted.occurrences.items()
+        },
+        "decoy_count": hosted.decoy_count,
+    }
+    with open(
+        os.path.join(directory, "client_state.json"), "w", encoding="utf-8"
+    ) as f:
+        json.dump(client_state, f)
+
+
+def load_system(
+    directory: str,
+    master_key: bytes,
+    channel: Channel | None = None,
+) -> SecureXMLSystem:
+    """Rebuild a working system from a saved hosting and the master key."""
+    keyring = ClientKeyring(master_key)
+
+    with open(os.path.join(directory, "hosted.xml"), encoding="utf-8") as f:
+        hosted_root: Node = parse_fragment(f.read())
+    if (
+        isinstance(hosted_root, Element)
+        and hosted_root.tag == ENCRYPTED_DATA_TAG
+        and hosted_root.attribute("block-id") is not None
+    ):
+        hosted_root = EncryptedBlockNode(
+            int(hosted_root.attribute("block-id").value),
+            bytes.fromhex(hosted_root.text_value() or ""),
+        )
+    _renumber_hosted(hosted_root)
+    nodes_by_id: dict[int, Node] = {}
+    for node in hosted_root.iter():
+        nodes_by_id[node.node_id] = node
+        if isinstance(node, Element):
+            for attribute in node.attributes:
+                nodes_by_id[attribute.node_id] = attribute
+    placeholders = {
+        node.block_id: node
+        for node in hosted_root.iter()
+        if isinstance(node, EncryptedBlockNode)
+    }
+    blocks = {block_id: node.payload for block_id, node in placeholders.items()}
+
+    with open(
+        os.path.join(directory, "server_meta.json"), encoding="utf-8"
+    ) as f:
+        server_meta = json.load(f)
+    if server_meta.get("version") != _FORMAT_VERSION:
+        raise ValueError("unsupported server_meta version")
+
+    entries: list[IndexEntry] = []
+    for record in server_meta["dsi"]:
+        entry = IndexEntry(
+            key=record["key"],
+            interval=Interval(record["low"], record["high"]),
+            member_ids=tuple(record["members"]),
+            block_id=record["block"],
+            plaintext_value=record["value"],
+            hosted_node=(
+                nodes_by_id.get(record["hosted_id"])
+                if record["hosted_id"] is not None
+                else None
+            ),
+        )
+        entries.append(entry)
+    for record, entry in zip(server_meta["dsi"], entries):
+        if record["parent"] is not None:
+            parent = entries[record["parent"]]
+            entry.parent = parent
+            parent.children.append(entry)
+    table: dict[str, list[IndexEntry]] = {}
+    for entry in entries:
+        table.setdefault(entry.key, []).append(entry)
+    structural_index = StructuralIndex(
+        table=table,
+        block_table={
+            int(block_id): Interval(low, high)
+            for block_id, (low, high) in server_meta["block_table"].items()
+        },
+        entries=sorted(entries, key=lambda e: e.interval.low),
+    )
+
+    value_index = ValueIndex()
+    for token, flat_entries in server_meta["value_index"].items():
+        tree = BTree(min_degree=16)
+        for key, block in flat_entries:
+            tree.insert(key, block)
+        value_index.trees[token] = tree
+
+    with open(
+        os.path.join(directory, "client_state.json"), encoding="utf-8"
+    ) as f:
+        client_state = json.load(f)
+    if client_state.get("version") != _FORMAT_VERSION:
+        raise ValueError("unsupported client_state version")
+
+    occurrences = {
+        field: [(value, block) for value, block in occurrence_list]
+        for field, occurrence_list in client_state["occurrences"].items()
+    }
+    field_plans = {}
+    field_tokens = {}
+    for field, occurrence_list in sorted(occurrences.items()):
+        histogram = Counter(value for value, _ in occurrence_list)
+        if not histogram:
+            continue
+        field_plans[field] = build_field_plan(
+            field, histogram, keyring.opess_stream(field), keyring.ope
+        )
+        field_tokens[field] = keyring.tag_cipher.encrypt_tag(field)
+
+    hosted = HostedDatabase(
+        hosted_root=hosted_root,
+        structural_index=structural_index,
+        value_index=value_index,
+        blocks=blocks,
+        placeholders=placeholders,
+        root_tag=client_state["root_tag"],
+        encrypted_tags=set(client_state["encrypted_tags"]),
+        plaintext_keys=set(client_state["plaintext_keys"]),
+        field_plans=field_plans,
+        field_tokens=field_tokens,
+        decoy_count=client_state["decoy_count"],
+        secure=client_state["secure"],
+        occurrences=occurrences,
+    )
+    scheme = EncryptionScheme(
+        kind=client_state["scheme_kind"],
+        block_root_ids=frozenset(),
+        covered_fields=frozenset(client_state["covered_fields"]),
+    )
+    hosting_trace = HostingTrace(
+        scheme_kind=scheme.kind,
+        scheme_size_nodes=0,
+        block_count=len(blocks),
+        encrypt_s=0.0,
+        hosted_bytes=hosted.hosted_size_bytes(),
+        plaintext_bytes=0,
+        decoy_count=hosted.decoy_count,
+        index_entries=len(entries),
+        value_index_entries=value_index.total_entries(),
+    )
+    return SecureXMLSystem(
+        client=Client(keyring, hosted),
+        server=Server(hosted),
+        hosted=hosted,
+        scheme=scheme,
+        channel=channel or Channel(),
+        hosting_trace=hosting_trace,
+        keyring=keyring,
+    )

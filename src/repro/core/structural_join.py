@@ -1,0 +1,222 @@
+"""Server-side twig pattern matching over DSI intervals (§6.2).
+
+Implements the three server steps of the paper's query pipeline:
+
+1. *Translation of query structure*: each pattern node's lookup keys pull
+   interval entries from the DSI index table.
+2. *Translation of value-based constraints*: each constrained node's key
+   ranges are run against the B-tree value index, yielding the set of
+   encryption blocks that contain a matching value; entries of plaintext
+   nodes are checked against the clear predicate directly.
+3. *Obtaining final results*: a bottom-up/top-down structural join over the
+   interval forest prunes entries that do not satisfy the twig, exactly the
+   "computes structural joins, which prune index entries at query nodes"
+   step, and surfaces the surviving entries of the output and ship nodes.
+
+Axis tests are pure interval geometry: *descendant* is strict containment
+(checked against a sorted low-bound array with binary search), and *child*
+uses the precomputed immediate-parent pointers — the paper's
+``child(x,y) ⇔ desc(x,y) ∧ ¬∃z …`` definition materialized once per index.
+The matching is sound-as-superset: grouped intervals can only widen match
+sets, never lose a real match, and the client restores exactness in
+post-processing.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+
+from repro.core.dsi import IndexEntry, StructuralIndex
+from repro.core.opess import ValueIndex
+from repro.core.translate import TranslatedNode, TranslatedQuery
+from repro.xpath.evaluator import compare_values
+
+
+@dataclass
+class MatchResult:
+    """Surviving entries after the structural join."""
+
+    output_entries: list[IndexEntry]
+    ship_entries: list[IndexEntry]
+    #: per-pattern-node candidate counts, for the trace/experiments
+    candidate_counts: dict[str, int] = field(default_factory=dict)
+
+
+def match_pattern(
+    query: TranslatedQuery,
+    structure: StructuralIndex,
+    values: ValueIndex,
+) -> MatchResult:
+    """Run the full structural join for a translated query."""
+    matcher = _Matcher(structure, values)
+    return matcher.run(query)
+
+
+class _Matcher:
+    def __init__(self, structure: StructuralIndex, values: ValueIndex) -> None:
+        self._structure = structure
+        self._values = values
+        self._match_sets: dict[int, list[IndexEntry]] = {}
+        self._counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Bottom-up phase: which entries satisfy the pattern subtree
+    # ------------------------------------------------------------------
+    def run(self, query: TranslatedQuery) -> MatchResult:
+        root_matches = self._match_subtree(query.root)
+        root_matches = [
+            entry
+            for entry in root_matches
+            if self._root_axis_ok(query.root.axis, entry)
+        ]
+
+        survivors: dict[int, set[int]] = {id(query.root): _id_set(root_matches)}
+        ordered_survivors: dict[int, list[IndexEntry]] = {
+            id(query.root): root_matches
+        }
+        self._prune_down(query.root, root_matches, survivors, ordered_survivors)
+
+        return MatchResult(
+            output_entries=ordered_survivors.get(id(query.output), []),
+            ship_entries=ordered_survivors.get(id(query.ship_node), []),
+            candidate_counts=dict(self._counts),
+        )
+
+    def _match_subtree(self, node: TranslatedNode) -> list[IndexEntry]:
+        cached = self._match_sets.get(id(node))
+        if cached is not None:
+            return cached
+
+        candidates = self._candidates(node)
+        self._counts[_label(node)] = len(candidates)
+
+        for child in node.children:
+            child_matches = self._match_subtree(child)
+            if not child_matches:
+                candidates = []
+                break
+            candidates = self._filter_by_child(candidates, child, child_matches)
+            if not candidates:
+                break
+
+        self._match_sets[id(node)] = candidates
+        return candidates
+
+    def _candidates(self, node: TranslatedNode) -> list[IndexEntry]:
+        if node.is_wildcard:
+            entries = list(self._structure.all_entries())
+        else:
+            entries = []
+            for key in node.keys:
+                entries.extend(self._structure.lookup(key))
+        if not node.has_value_constraint:
+            return entries
+        return [entry for entry in entries if self._value_ok(node, entry)]
+
+    def _value_ok(self, node: TranslatedNode, entry: IndexEntry) -> bool:
+        if entry.block_id is not None:
+            if node.value_ranges is None:
+                # Only a plaintext predicate was sent, but this entry is
+                # encrypted: the server cannot verify it — keep it (sound
+                # superset; the client will re-check).
+                return True
+            assert node.value_field_token is not None
+            blocks = self._values.lookup_blocks(
+                node.value_field_token, node.value_ranges
+            )
+            return entry.block_id in blocks
+        if node.plaintext_predicate is not None:
+            if entry.plaintext_value is None:
+                return False
+            op, literal = node.plaintext_predicate
+            return compare_values(entry.plaintext_value, op, literal)
+        # Encrypted-only predicate but this entry is plaintext: no
+        # plaintext occurrence was expected, so nothing here can match.
+        return False
+
+    def _filter_by_child(
+        self,
+        candidates: list[IndexEntry],
+        child: TranslatedNode,
+        child_matches: list[IndexEntry],
+    ) -> list[IndexEntry]:
+        axis = child.axis
+        if axis in ("child", "attribute"):
+            match_ids = _id_set(child_matches)
+            return [
+                entry
+                for entry in candidates
+                if any(id(sub) in match_ids for sub in entry.children)
+            ]
+        if axis in ("descendant", "attribute-descendant"):
+            lows = sorted(match.interval.low for match in child_matches)
+            return [
+                entry
+                for entry in candidates
+                if _has_low_inside(lows, entry)
+            ]
+        raise ValueError(f"unexpected pattern axis {axis!r}")
+
+    # ------------------------------------------------------------------
+    # Top-down phase: keep only entries reachable from surviving parents
+    # ------------------------------------------------------------------
+    def _prune_down(
+        self,
+        node: TranslatedNode,
+        node_survivors: list[IndexEntry],
+        survivors: dict[int, set[int]],
+        ordered: dict[int, list[IndexEntry]],
+    ) -> None:
+        parent_ids = _id_set(node_survivors)
+        for child in node.children:
+            child_matches = self._match_sets.get(id(child), [])
+            axis = child.axis
+            if axis in ("child", "attribute"):
+                surviving = [
+                    entry
+                    for entry in child_matches
+                    if entry.parent is not None and id(entry.parent) in parent_ids
+                ]
+            else:
+                surviving = [
+                    entry
+                    for entry in child_matches
+                    if self._has_surviving_ancestor(entry, parent_ids)
+                ]
+            survivors[id(child)] = _id_set(surviving)
+            ordered[id(child)] = surviving
+            self._prune_down(child, surviving, survivors, ordered)
+
+    @staticmethod
+    def _has_surviving_ancestor(
+        entry: IndexEntry, ancestor_ids: set[int]
+    ) -> bool:
+        current = entry.parent
+        while current is not None:
+            if id(current) in ancestor_ids:
+                return True
+            current = current.parent
+        return False
+
+    @staticmethod
+    def _root_axis_ok(axis: str, entry: IndexEntry) -> bool:
+        if axis == "root-child":
+            return entry.parent is None
+        if axis == "root-descendant":
+            return True
+        raise ValueError(f"pattern root must use a root axis, got {axis!r}")
+
+
+def _id_set(entries: list[IndexEntry]) -> set[int]:
+    return {id(entry) for entry in entries}
+
+
+def _has_low_inside(sorted_lows: list[float], entry: IndexEntry) -> bool:
+    """Any match interval strictly inside ``entry`` (laminar shortcut)?"""
+    left = bisect_right(sorted_lows, entry.interval.low)
+    return left < len(sorted_lows) and sorted_lows[left] < entry.interval.high
+
+
+def _label(node: TranslatedNode) -> str:
+    return "|".join(node.keys) if node.keys else "*"

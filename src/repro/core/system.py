@@ -1,0 +1,346 @@
+"""End-to-end secure XML database system (Figure 1).
+
+:class:`SecureXMLSystem` wires the pieces together: hosting (scheme
+construction + encryption + metadata), query translation, server
+evaluation, the modelled network channel, and client post-processing.
+Every query returns the exact answer plus a :class:`QueryTrace` recording
+the per-stage costs that the paper's evaluation (Fig. 9, §7.2, §7.3)
+breaks out: translation time on both sides, query processing time on the
+server, transfer size/time, decryption time and post-processing time on
+the client.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dataclass_field
+from typing import Optional
+
+from repro.core.client import Client, QueryAnswer
+from repro.core.constraints import SecurityConstraint
+from repro.core.encryptor import HostedDatabase, host_database
+from repro.core.scheme import EncryptionScheme, build_scheme
+from repro.core.server import Server, ServerResponse
+from repro.crypto.keyring import ClientKeyring
+from repro.netsim.channel import Channel
+from repro.xmldb.node import Document
+from repro.xpath.compiler import UnsupportedQuery
+
+_DEFAULT_MASTER_KEY = b"repro-demo-master-key-0123456789"
+
+
+@dataclass
+class QueryTrace:
+    """Per-stage cost breakdown for one query (the Fig. 9 quantities)."""
+
+    query: str
+    naive: bool = False
+    translate_client_s: float = 0.0
+    server_s: float = 0.0
+    transfer_bytes: int = 0
+    transfer_s: float = 0.0
+    decrypt_client_s: float = 0.0
+    postprocess_client_s: float = 0.0
+    blocks_returned: int = 0
+    fragments_returned: int = 0
+    answer_count: int = 0
+    candidate_counts: dict[str, int] = dataclass_field(default_factory=dict)
+
+    @property
+    def client_s(self) -> float:
+        """Total client-side time (translate + decrypt + post-process)."""
+        return (
+            self.translate_client_s
+            + self.decrypt_client_s
+            + self.postprocess_client_s
+        )
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end query time including modelled wire time."""
+        return self.client_s + self.server_s + self.transfer_s
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict for benchmark tables."""
+        return {
+            "query": self.query,
+            "naive": self.naive,
+            "t_translate": self.translate_client_s,
+            "t_server": self.server_s,
+            "t_transfer": self.transfer_s,
+            "t_decrypt": self.decrypt_client_s,
+            "t_post": self.postprocess_client_s,
+            "t_total": self.total_s,
+            "bytes": self.transfer_bytes,
+            "blocks": self.blocks_returned,
+            "answers": self.answer_count,
+        }
+
+
+@dataclass
+class HostingTrace:
+    """Costs of the hosting step (the §7.4 quantities)."""
+
+    scheme_kind: str
+    scheme_size_nodes: int
+    block_count: int
+    encrypt_s: float
+    hosted_bytes: int
+    plaintext_bytes: int
+    decoy_count: int
+    index_entries: int
+    value_index_entries: int
+
+
+class SecureXMLSystem:
+    """A hosted database plus its owner: the complete Figure 1 pipeline."""
+
+    def __init__(
+        self,
+        client: Client,
+        server: Server,
+        hosted: HostedDatabase,
+        scheme: EncryptionScheme,
+        channel: Channel,
+        hosting_trace: HostingTrace,
+        keyring: ClientKeyring,
+    ) -> None:
+        self.client = client
+        self.server = server
+        self.hosted = hosted
+        self.scheme = scheme
+        self.channel = channel
+        self.hosting_trace = hosting_trace
+        self.last_trace: QueryTrace | None = None
+        self._keyring = keyring
+
+    # ------------------------------------------------------------------
+    # Hosting
+    # ------------------------------------------------------------------
+    @classmethod
+    def host(
+        cls,
+        document: Document,
+        constraints: list[SecurityConstraint],
+        scheme: "str | EncryptionScheme" = "opt",
+        master_key: bytes = _DEFAULT_MASTER_KEY,
+        channel: Channel | None = None,
+        secure: bool = True,
+    ) -> "SecureXMLSystem":
+        """Encrypt ``document`` under the given scheme and stand up a system.
+
+        ``scheme`` may be one of the §7.1 kinds (``"opt"``, ``"app"``,
+        ``"sub"``, ``"top"``), the §4.1 strawman ``"leaf"``, or a prebuilt
+        :class:`EncryptionScheme`.  ``secure=False`` hosts without decoys
+        and with deterministic block encryption — insecure by design, for
+        the attack demonstrations only.
+        """
+        from repro.xmldb.serializer import serialize
+
+        if isinstance(scheme, str):
+            scheme_obj = build_scheme(document, constraints, scheme)
+        else:
+            scheme_obj = scheme
+        keyring = ClientKeyring(master_key)
+
+        started = time.perf_counter()
+        hosted = host_database(document, scheme_obj, keyring, secure=secure)
+        encrypt_seconds = time.perf_counter() - started
+
+        hosting_trace = HostingTrace(
+            scheme_kind=scheme_obj.kind,
+            scheme_size_nodes=scheme_obj.size(document),
+            block_count=hosted.block_count(),
+            encrypt_s=encrypt_seconds,
+            hosted_bytes=hosted.hosted_size_bytes(),
+            plaintext_bytes=len(serialize(document).encode("utf-8")),
+            decoy_count=hosted.decoy_count,
+            index_entries=len(hosted.structural_index.all_entries()),
+            value_index_entries=hosted.value_index.total_entries(),
+        )
+        return cls(
+            client=Client(keyring, hosted),
+            server=Server(hosted),
+            hosted=hosted,
+            scheme=scheme_obj,
+            channel=channel or Channel(),
+            hosting_trace=hosting_trace,
+            keyring=keyring,
+        )
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def query(self, xpath: str) -> QueryAnswer:
+        """Answer a query through the secure pipeline; trace in last_trace.
+
+        Queries outside the server-evaluable fragment transparently fall
+        back to the naive protocol (still exact, just unpruned).
+        """
+        trace = QueryTrace(query=xpath)
+
+        started = time.perf_counter()
+        try:
+            translated = self.client.translate(xpath)
+        except UnsupportedQuery:
+            translated = None
+        trace.translate_client_s = time.perf_counter() - started
+
+        if translated is None:
+            return self._finish_naive(xpath, trace)
+
+        trace.transfer_s += self.channel.send(
+            "client->server", "query", translated.wire_size()
+        )
+
+        started = time.perf_counter()
+        response = self.server.answer(translated)
+        trace.server_s = time.perf_counter() - started
+        trace.candidate_counts = response.candidate_counts
+
+        return self._finish(xpath, response, trace)
+
+    def aggregate(
+        self, xpath: str, func: str, mode: str = "exact"
+    ):
+        """Aggregate the values selected by ``xpath`` (§6.4).
+
+        ``mode="exact"`` runs the secure pipeline and folds the plaintext
+        answers client-side — always correct, required for COUNT/SUM/AVG
+        (splitting and scaling make them unevaluable server-side, as the
+        paper notes).
+
+        ``mode="server"`` (min/max only) performs the paper's
+        no-decryption protocol: the server folds over the B-tree value
+        index restricted to the structurally matched blocks and returns a
+        single extreme ciphertext, which the client inverts through its
+        OPE key.  Exact at per-node block granularity; at coarser
+        granularities it may see unmatched occurrences sharing a matched
+        block (the design's inherent caveat — see
+        :mod:`repro.core.aggregates`).
+        """
+        from repro.core.aggregates import (
+            combine_min_max,
+            fold_exact,
+            server_min_max,
+        )
+
+        if mode == "exact":
+            answer = self.query(xpath)
+            if func == "count":
+                # COUNT counts answer *nodes* (XPath semantics), not leaf
+                # values — internal elements count too.
+                return len(answer)
+            return fold_exact(answer.values(), func)
+        if mode != "server":
+            raise ValueError(f"unknown aggregation mode {mode!r}")
+        if func not in ("min", "max"):
+            raise ValueError(
+                "server-side aggregation supports only min/max; "
+                f"{func!r} requires decryption (use mode='exact')"
+            )
+        translated = self.client.translate(xpath)
+        reply = server_min_max(
+            translated,
+            self.hosted.structural_index,
+            self.hosted.value_index,
+            func,
+        )
+        field = _output_field(xpath)
+        plan = self.hosted.field_plans.get(field) if field else None
+        return combine_min_max(reply, plan, self._keyring.ope, func)
+
+    # ------------------------------------------------------------------
+    # Incremental updates (extension; paper §8 item 3)
+    # ------------------------------------------------------------------
+    def insert_element(self, parent_xpath: str, tag: str, value: str) -> None:
+        """Insert ``<tag>value</tag>`` under the unique match of the path.
+
+        New leaves of sensitive tags become their own encryption blocks
+        (with decoys, fresh DSI interval drawn in the parent's gap, and a
+        field-granular OPESS/B-tree rebuild); other tags stay plaintext.
+        See :mod:`repro.core.updates` for scope and the security caveat.
+        """
+        from repro.core.updates import UpdateEngine
+
+        engine = UpdateEngine(self.hosted, self._keyring)
+        entry = engine.resolve_single(self.client.translate(parent_xpath))
+        engine.insert_element(entry, tag, value)
+        self._refresh_client()
+
+    def delete_element(self, xpath: str) -> None:
+        """Delete the unique subtree matched by ``xpath``."""
+        from repro.core.updates import UpdateEngine
+
+        engine = UpdateEngine(self.hosted, self._keyring)
+        entry = engine.resolve_single(self.client.translate(xpath))
+        engine.delete_element(entry)
+        self._refresh_client()
+
+    def update_value(self, xpath: str, new_value: str) -> None:
+        """Rewrite the value of the unique leaf matched by ``xpath``."""
+        from repro.core.updates import UpdateEngine
+
+        engine = UpdateEngine(self.hosted, self._keyring)
+        entry = engine.resolve_single(self.client.translate(xpath))
+        engine.update_value(entry, new_value)
+        self._refresh_client()
+
+    def _refresh_client(self) -> None:
+        """Rebuild the client translator after hosted-state mutation."""
+        self.client = Client(self._keyring, self.hosted)
+
+    def naive_query(self, xpath: str) -> QueryAnswer:
+        """Answer a query with the §7.3 naive baseline (ship everything)."""
+        trace = QueryTrace(query=xpath)
+        return self._finish_naive(xpath, trace)
+
+    def _finish_naive(self, xpath: str, trace: QueryTrace) -> QueryAnswer:
+        trace.naive = True
+        trace.transfer_s += self.channel.send(
+            "client->server", "query", len(xpath.encode("utf-8"))
+        )
+        started = time.perf_counter()
+        response = self.server.ship_all()
+        trace.server_s = time.perf_counter() - started
+        return self._finish(xpath, response, trace)
+
+    def _finish(
+        self, xpath: str, response: ServerResponse, trace: QueryTrace
+    ) -> QueryAnswer:
+        trace.blocks_returned = response.blocks_shipped
+        trace.fragments_returned = len(response.fragments)
+        trace.transfer_bytes = response.size_bytes()
+        trace.transfer_s += self.channel.send(
+            "server->client", "answer", trace.transfer_bytes
+        )
+
+        started = time.perf_counter()
+        decrypted = self.client.decrypt_fragments(response)
+        trace.decrypt_client_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        pruned = self.client.assemble(decrypted)
+        answer = self.client.post_process(xpath, pruned)
+        trace.postprocess_client_s = time.perf_counter() - started
+
+        trace.answer_count = len(answer)
+        self.last_trace = trace
+        return answer
+
+
+def _output_field(xpath: str) -> Optional[str]:
+    """Field name of a query's output node (tag or ``@name``), if any."""
+    from repro.xpath import ast
+    from repro.xpath.parser import parse_xpath
+
+    path = parse_xpath(xpath)
+    for step in reversed(path.steps):
+        if step.axis == ast.AXIS_ATTRIBUTE:
+            return f"@{step.test.name}"
+        if step.axis in (ast.AXIS_SELF,):
+            continue
+        if step.test.is_wildcard:
+            return None
+        return step.test.name
+    return None

@@ -1,0 +1,207 @@
+"""Client-side query translation (§6.1, Figure 7).
+
+The client turns a plaintext XPath query into the encrypted query ``Qs``
+sent to the server: tags that appear inside encryption blocks are replaced
+by their Vernam tokens ("with the same keys used for the construction of
+[the] DSI index table"), and every value predicate on an encrypted field is
+rewritten into one or more ciphertext key ranges using the OPESS plan
+(Figure 7a).  The structure of the query — the twig — is preserved.
+
+A tag can occur both inside and outside blocks (e.g. ``disease`` under the
+``sub`` scheme where only some subtrees are encrypted); translated nodes
+therefore carry a *set* of lookup keys.  The plaintext tag is included only
+when plaintext occurrences exist — a purely-encrypted tag never crosses the
+wire in the clear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.opess import FieldPlan, KeyRange, translate_predicate
+from repro.crypto.ope import OrderPreservingEncryption
+from repro.crypto.vernam import DeterministicTagCipher
+from repro.xpath.compiler import PatternNode, PatternTree, UnsupportedQuery
+
+
+@dataclass
+class TranslatedNode:
+    """One pattern node of the encrypted query ``Qs``."""
+
+    #: DSI-table lookup keys; empty tuple = wildcard (match any entry)
+    keys: tuple[str, ...]
+    axis: str
+    children: list["TranslatedNode"] = field(default_factory=list)
+    #: ciphertext key ranges for the value constraint (encrypted side)
+    value_ranges: Optional[list[KeyRange]] = None
+    #: B-tree to consult for the ranges (the encrypted field name)
+    value_field_token: Optional[str] = None
+    #: (op, literal) for plaintext occurrences of the constrained field
+    plaintext_predicate: Optional[tuple[str, str]] = None
+    is_output: bool = False
+    is_ship_node: bool = False
+
+    @property
+    def is_wildcard(self) -> bool:
+        return not self.keys
+
+    @property
+    def has_value_constraint(self) -> bool:
+        return self.value_ranges is not None or self.plaintext_predicate is not None
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def wire_size(self) -> int:
+        """Approximate serialized size in bytes (for channel accounting)."""
+        size = sum(len(key) for key in self.keys) + len(self.axis) + 8
+        if self.value_ranges is not None:
+            size += 16 * len(self.value_ranges)
+        if self.value_field_token:
+            size += len(self.value_field_token)
+        if self.plaintext_predicate:
+            size += len(self.plaintext_predicate[0]) + len(
+                self.plaintext_predicate[1]
+            )
+        return size + sum(child.wire_size() for child in self.children)
+
+
+@dataclass
+class TranslatedQuery:
+    """The encrypted query ``Qs``: a translated pattern tree."""
+
+    root: TranslatedNode
+    output: TranslatedNode
+    ship_node: TranslatedNode
+
+    def wire_size(self) -> int:
+        return self.root.wire_size()
+
+
+class QueryTranslator:
+    """Holds the client knowledge needed to translate queries."""
+
+    def __init__(
+        self,
+        tag_cipher: DeterministicTagCipher,
+        ope: OrderPreservingEncryption,
+        encrypted_tags: set[str],
+        plaintext_keys: set[str],
+        field_plans: dict[str, FieldPlan],
+        field_tokens: dict[str, str],
+    ) -> None:
+        self._tag_cipher = tag_cipher
+        self._ope = ope
+        self._encrypted_tags = encrypted_tags
+        self._plaintext_keys = plaintext_keys
+        self._field_plans = field_plans
+        self._field_tokens = field_tokens
+
+    def translate(self, pattern: PatternTree) -> TranslatedQuery:
+        """Translate a compiled pattern into the encrypted query."""
+        if len(pattern.roots) != 1:
+            raise UnsupportedQuery("pattern must have a single root")
+        mapping: dict[int, TranslatedNode] = {}
+        root = self._translate_node(pattern.roots[0], mapping)
+        output = mapping[id(pattern.output)]
+        ship = mapping[id(_ship_node(pattern))]
+        ship.is_ship_node = True
+        return TranslatedQuery(root=root, output=output, ship_node=ship)
+
+    def _translate_node(
+        self, node: PatternNode, mapping: dict[int, "TranslatedNode"]
+    ) -> TranslatedNode:
+        translated = TranslatedNode(
+            keys=self._translate_test(node.test),
+            axis=node.axis,
+            is_output=node.is_output,
+        )
+        if node.value_constraint is not None:
+            self._translate_constraint(node, translated)
+        mapping[id(node)] = translated
+        for child in node.children:
+            translated.children.append(self._translate_node(child, mapping))
+        return translated
+
+    def _translate_test(self, test: str) -> tuple[str, ...]:
+        if test in ("*", "@*"):
+            return ()
+        keys: list[str] = []
+        if test in self._plaintext_keys:
+            keys.append(test)
+        if test in self._encrypted_tags:
+            keys.append(self._tag_cipher.encrypt_tag(test))
+        if not keys:
+            # Unknown tag: send it in the clear; the lookup will miss.  A
+            # tag absent from the data reveals nothing sensitive.
+            keys.append(test)
+        return tuple(keys)
+
+    def _translate_constraint(
+        self, node: PatternNode, translated: TranslatedNode
+    ) -> None:
+        assert node.value_constraint is not None
+        op, literal = node.value_constraint
+        if node.is_wildcard:
+            raise UnsupportedQuery(
+                "value constraints on wildcard nodes are client-only"
+            )
+        field_name = node.test
+        plan = self._field_plans.get(field_name)
+        if plan is not None:
+            translated.value_ranges = translate_predicate(
+                plan, op, literal, self._ope
+            )
+            translated.value_field_token = self._field_tokens[field_name]
+        if field_name in self._plaintext_keys:
+            # Plaintext occurrences exist; their values are public on the
+            # server already, so a clear predicate gives nothing away that
+            # the hosted data doesn't.
+            translated.plaintext_predicate = (op, literal)
+        if plan is None and field_name not in self._plaintext_keys:
+            # Constraint on a field with no data: nothing can match.
+            translated.value_ranges = []
+            translated.value_field_token = self._tag_cipher.encrypt_tag(
+                field_name
+            )
+
+
+def _ship_node(pattern: PatternTree) -> PatternNode:
+    """Pick the subtree root the server should ship fragments for.
+
+    The deepest *spine* node whose subtree still contains every constrained
+    or branching pattern node and the output node.  Shipping that node's
+    matches gives the client enough context to re-evaluate the query
+    exactly (value predicates are only block-granular on the server), while
+    the pure tag path above it is verified exactly by the structural join.
+    """
+    spine: list[PatternNode] = []
+    node = pattern.spine_root
+    while True:
+        spine.append(node)
+        onward = [
+            child
+            for child in node.children
+            if _contains_output(child, pattern.output)
+        ]
+        if not onward:
+            break
+        node = onward[0]
+
+    for index, spine_node in enumerate(spine):
+        next_on_spine = spine[index + 1] if index + 1 < len(spine) else None
+        branches = [
+            child
+            for child in spine_node.children
+            if child is not next_on_spine
+        ]
+        if spine_node.value_constraint is not None or branches:
+            return spine_node
+    return spine[-1]
+
+
+def _contains_output(node: PatternNode, output: PatternNode) -> bool:
+    return any(candidate is output for candidate in node.walk())

@@ -1,0 +1,389 @@
+"""Incremental updates over a hosted database (extension; paper §8 item 3).
+
+"Developing a secure encryption scheme for efficiently supporting updates
+is another important problem." — the paper leaves updates as future work.
+This module implements the natural extension the DSI design invites: the
+random *gaps* between sibling intervals (§5.1) leave room to place a new
+node's interval without relabeling anything, so a hosted system can accept
+leaf-level inserts, deletes and value updates while preserving the exact
+query contract.
+
+Supported operations (see :class:`UpdateEngine`):
+
+* :meth:`UpdateEngine.insert_element` — add a new leaf element under a
+  plaintext parent.  If the tag is sensitive (already encrypted somewhere,
+  or covered by a constraint field), the new leaf becomes its own
+  encryption block with a decoy, its interval is drawn inside the parent's
+  trailing gap, and the field's OPESS plan and B-tree are rebuilt
+  (histograms change, so splitting must be re-planned — *field-granular*
+  incrementality).
+* :meth:`UpdateEngine.delete_element` — remove a plaintext subtree or an
+  encrypted block, along with every index entry, block payload and value
+  occurrence beneath it.
+* :meth:`UpdateEngine.update_value` — rewrite one leaf's value (in place
+  for plaintext leaves; re-encrypting the enclosing single-leaf block for
+  encrypted ones).
+
+Security caveat, stated openly: the paper's theorems cover a static
+hosting.  These updates preserve *query* security (the server still sees
+only tokens, intervals and ciphertext), but the update *trace* itself —
+which blocks changed and when — is outside the paper's attack model,
+exactly the open problem §8 flags.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections import Counter
+from typing import Optional
+
+from repro.core.decoy import inject_decoys
+from repro.core.dsi import IndexEntry, Interval
+from repro.core.encryptor import HostedDatabase
+from repro.core.opess import build_field_plan, build_value_index
+from repro.core.structural_join import match_pattern
+from repro.crypto.keyring import ClientKeyring
+from repro.crypto.modes import cbc_encrypt
+from repro.xmldb.node import Element, EncryptedBlockNode, Node, Text
+from repro.xmldb.serializer import serialize
+
+
+class UpdateError(ValueError):
+    """Raised when an update cannot be applied safely."""
+
+
+class UpdateEngine:
+    """Applies incremental updates to a hosted database.
+
+    The engine mutates the :class:`HostedDatabase` in place; the system
+    façade rebuilds its client translator afterwards so subsequent query
+    translation sees the updated tag/field knowledge.
+    """
+
+    def __init__(self, hosted: HostedDatabase, keyring: ClientKeyring) -> None:
+        if not hosted.secure:
+            raise UpdateError("updates require a securely hosted database")
+        self._hosted = hosted
+        self._keyring = keyring
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def insert_element(
+        self, parent: "IndexEntry | Element", tag: str, value: str
+    ) -> None:
+        """Insert ``<tag>value</tag>`` as the last child of ``parent``.
+
+        ``parent`` is a plaintext index entry (or its hosted element).  The
+        new leaf is encrypted as its own block when the tag is sensitive —
+        already encrypted elsewhere, or an SC-covered field — and kept in
+        plaintext otherwise.
+        """
+        entry = self._resolve_parent(parent)
+        hosted_parent = entry.hosted_node
+        assert isinstance(hosted_parent, Element)
+
+        interval = self._allocate_child_interval(entry)
+        sensitive = tag in self._hosted.encrypted_tags
+
+        new_element = Element(tag)
+        new_element.append(Text(value))
+        new_element.node_id = self._next_hosted_id()
+
+        if sensitive:
+            block_id = self._next_block_id()
+            payload = self._encrypt_block(new_element, block_id)
+            placeholder = EncryptedBlockNode(block_id, payload)
+            placeholder.node_id = new_element.node_id
+            hosted_parent.append(placeholder)
+            self._hosted.blocks[block_id] = payload
+            self._hosted.placeholders[block_id] = placeholder
+            self._hosted.structural_index.block_table[block_id] = interval
+            key = self._keyring.tag_cipher.encrypt_tag(tag)
+            self._add_entry(
+                IndexEntry(
+                    key=key,
+                    interval=interval,
+                    member_ids=(new_element.node_id,),
+                    block_id=block_id,
+                )
+            )
+            self._add_occurrence(tag, value, block_id)
+        else:
+            hosted_parent.append(new_element)
+            self._hosted.plaintext_keys.add(tag)
+            self._add_entry(
+                IndexEntry(
+                    key=tag,
+                    interval=interval,
+                    member_ids=(new_element.node_id,),
+                    block_id=None,
+                    plaintext_value=value,
+                    hosted_node=new_element,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+    def delete_element(self, target: IndexEntry) -> None:
+        """Delete the subtree behind an index entry.
+
+        Plaintext entries remove their hosted subtree (including any
+        encrypted blocks nested below it); encrypted entries remove the
+        enclosing block entirely (the block is the unit of encryption, so
+        a grouped entry's members leave together).
+        """
+        if target.block_id is not None:
+            self._delete_block(target.block_id)
+            return
+        node = target.hosted_node
+        if node is None or node.parent is None:
+            raise UpdateError("cannot delete the document root")
+        # Remove blocks nested below the plaintext subtree first.
+        for descendant in list(node.iter()):
+            if isinstance(descendant, EncryptedBlockNode):
+                self._delete_block(descendant.block_id)
+        node.detach()
+        self._remove_entries_inside(target.interval, include_self=True)
+
+    # ------------------------------------------------------------------
+    # Update value
+    # ------------------------------------------------------------------
+    def update_value(self, target: IndexEntry, new_value: str) -> None:
+        """Rewrite the value of a leaf entry."""
+        if target.block_id is None:
+            node = target.hosted_node
+            assert isinstance(node, Element)
+            if not node.is_leaf_element:
+                raise UpdateError("update_value needs a leaf element")
+            text = node.children[0]
+            assert isinstance(text, Text)
+            text.value = new_value
+            target.plaintext_value = new_value
+            return
+
+        # Encrypted leaf: only single-leaf blocks can be value-updated
+        # without structural knowledge of the block internals.
+        if len(target.member_ids) != 1:
+            raise UpdateError(
+                "value update inside a grouped/multi-leaf block is not "
+                "supported; delete and re-insert instead"
+            )
+        block_id = target.block_id
+        tag = self._keyring.tag_cipher.decrypt_tag(target.key)
+        old_value = self._remove_block_occurrence(tag, block_id)
+        if old_value is None:
+            raise UpdateError("no indexed occurrence for this block")
+
+        new_element = Element(tag)
+        new_element.append(Text(new_value))
+        payload = self._encrypt_block(new_element, block_id)
+        self._hosted.blocks[block_id] = payload
+        placeholder = self._hosted.placeholders[block_id]
+        placeholder.payload = payload
+        self._add_occurrence(tag, new_value, block_id)
+
+    # ------------------------------------------------------------------
+    # Target resolution helpers (used by the system façade)
+    # ------------------------------------------------------------------
+    def resolve_single(self, translated_query) -> IndexEntry:
+        """Resolve a translated query to exactly one output entry."""
+        result = match_pattern(
+            translated_query,
+            self._hosted.structural_index,
+            self._hosted.value_index,
+        )
+        if len(result.output_entries) != 1:
+            raise UpdateError(
+                f"update target must match exactly one node; "
+                f"matched {len(result.output_entries)}"
+            )
+        return result.output_entries[0]
+
+    def _resolve_parent(self, parent: "IndexEntry | Element") -> IndexEntry:
+        if isinstance(parent, IndexEntry):
+            entry = parent
+        else:
+            entry = next(
+                (
+                    candidate
+                    for candidate in self._hosted.structural_index.all_entries()
+                    if candidate.hosted_node is parent
+                ),
+                None,
+            )
+            if entry is None:
+                raise UpdateError("parent element is not in the index")
+        if entry.block_id is not None or entry.hosted_node is None:
+            raise UpdateError(
+                "insert parent must be a plaintext element; inserting "
+                "inside an encrypted block requires delete + re-insert of "
+                "the block"
+            )
+        return entry
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _allocate_child_interval(self, parent: IndexEntry) -> Interval:
+        """Draw a fresh interval in the parent's trailing gap.
+
+        The §5.1 construction leaves ``(max_N, parent.high)`` unused; we
+        place the new child in the first part of whatever gap remains
+        after the current last child, keeping room for further inserts.
+        """
+        children = sorted(
+            (c.interval for c in parent.children), key=lambda i: i.high
+        )
+        gap_low = children[-1].high if children else parent.interval.low
+        gap_high = parent.interval.high
+        width = gap_high - gap_low
+        if width <= 1e-12:
+            raise UpdateError("no interval gap left under this parent")
+        stream = self._keyring.dsi_weight_stream()
+        w1 = stream.uniform(0.05, 0.30)
+        w2 = stream.uniform(0.35, 0.60)
+        return Interval(gap_low + width * w1, gap_low + width * w2)
+
+    def _add_entry(self, entry: IndexEntry) -> None:
+        index = self._hosted.structural_index
+        # Parent = smallest existing interval strictly containing ours.
+        parent: Optional[IndexEntry] = None
+        for candidate in index.all_entries():
+            if candidate.interval.contains(entry.interval):
+                if parent is None or parent.interval.contains(
+                    candidate.interval
+                ):
+                    parent = candidate
+        entry.parent = parent
+        if parent is not None:
+            parent.children.append(entry)
+        index.table.setdefault(entry.key, []).append(entry)
+        insort(index.entries, entry, key=lambda e: e.interval.low)
+
+    def _remove_entries_inside(
+        self, interval: Interval, include_self: bool
+    ) -> None:
+        index = self._hosted.structural_index
+
+        def doomed(entry: IndexEntry) -> bool:
+            if interval.contains(entry.interval):
+                return True
+            return include_self and entry.interval == interval
+
+        removed = [e for e in index.entries if doomed(e)]
+        removed_ids = {id(e) for e in removed}
+        index.entries = [e for e in index.entries if id(e) not in removed_ids]
+        for key in list(index.table):
+            index.table[key] = [
+                e for e in index.table[key] if id(e) not in removed_ids
+            ]
+            if not index.table[key]:
+                del index.table[key]
+        for entry in index.entries:
+            entry.children = [
+                c for c in entry.children if id(c) not in removed_ids
+            ]
+
+    def _delete_block(self, block_id: int) -> None:
+        hosted = self._hosted
+        placeholder = hosted.placeholders.pop(block_id, None)
+        if placeholder is not None and placeholder.parent is not None:
+            placeholder.detach()
+        hosted.blocks.pop(block_id, None)
+        representative = hosted.structural_index.block_table.pop(
+            block_id, None
+        )
+        index = hosted.structural_index
+        removed = [e for e in index.entries if e.block_id == block_id]
+        removed_ids = {id(e) for e in removed}
+        index.entries = [e for e in index.entries if id(e) not in removed_ids]
+        for key in list(index.table):
+            index.table[key] = [
+                e for e in index.table[key] if id(e) not in removed_ids
+            ]
+            if not index.table[key]:
+                del index.table[key]
+        for entry in index.entries:
+            entry.children = [
+                c for c in entry.children if id(c) not in removed_ids
+            ]
+        # Drop value occurrences pointing at the dead block.
+        for field_name in list(hosted.occurrences):
+            occurrence_list = hosted.occurrences[field_name]
+            kept = [
+                (value, block) for value, block in occurrence_list
+                if block != block_id
+            ]
+            if len(kept) != len(occurrence_list):
+                hosted.occurrences[field_name] = kept
+                self._rebuild_field(field_name)
+
+    def _encrypt_block(self, subtree: Element, block_id: int) -> bytes:
+        inject_decoys(subtree, self._keyring.decoy_stream())
+        plaintext = serialize(subtree).encode("utf-8")
+        return cbc_encrypt(
+            self._keyring.block_cipher,
+            self._keyring.block_iv(block_id),
+            plaintext,
+        )
+
+    def _add_occurrence(self, field_name: str, value: str, block_id: int) -> None:
+        self._hosted.occurrences.setdefault(field_name, []).append(
+            (value, block_id)
+        )
+        self._hosted.encrypted_tags.add(field_name)
+        self._rebuild_field(field_name)
+
+    def _remove_block_occurrence(
+        self, field_name: str, block_id: int
+    ) -> Optional[str]:
+        occurrence_list = self._hosted.occurrences.get(field_name, [])
+        for index, (value, block) in enumerate(occurrence_list):
+            if block == block_id:
+                del occurrence_list[index]
+                return value
+        return None
+
+    def _rebuild_field(self, field_name: str) -> None:
+        """Re-plan OPESS and rebuild the B-tree for one field."""
+        hosted = self._hosted
+        occurrence_list = hosted.occurrences.get(field_name, [])
+        token = hosted.field_tokens.get(
+            field_name
+        ) or self._keyring.tag_cipher.encrypt_tag(field_name)
+        hosted.field_tokens[field_name] = token
+        if not occurrence_list:
+            hosted.field_plans.pop(field_name, None)
+            hosted.value_index.trees.pop(token, None)
+            return
+        histogram = Counter(value for value, _ in occurrence_list)
+        plan = build_field_plan(
+            field_name,
+            histogram,
+            self._keyring.opess_stream(field_name),
+            self._keyring.ope,
+        )
+        hosted.field_plans[field_name] = plan
+        rebuilt = build_value_index(
+            {field_name: occurrence_list},
+            {field_name: plan},
+            {field_name: token},
+            self._keyring.ope,
+        )
+        hosted.value_index.trees[token] = rebuilt.trees[token]
+
+    def _next_block_id(self) -> int:
+        existing = self._hosted.blocks
+        return (max(existing) + 1) if existing else 1
+
+    def _next_hosted_id(self) -> int:
+        best = 0
+        root: Node = self._hosted.hosted_root
+        for node in root.iter():
+            best = max(best, node.node_id)
+            if isinstance(node, Element):
+                for attribute in node.attributes:
+                    best = max(best, attribute.node_id)
+        return best + 1

@@ -1,0 +1,52 @@
+"""From-scratch cryptographic primitives used by the reproduction.
+
+The paper needs four cryptographic contracts, all implemented here without
+external crypto dependencies:
+
+* a collision-resistant hash / PRF for key derivation and deterministic
+  randomness — :mod:`repro.crypto.sha256` (FIPS 180-4) and
+  :mod:`repro.crypto.hmac` (RFC 2104), cross-checked against the standard
+  library in the test suite;
+* a semantically secure block cipher for encryption blocks —
+  :mod:`repro.crypto.aes` (FIPS-197 AES-128) with CBC/CTR modes and PKCS#7
+  padding in :mod:`repro.crypto.modes`;
+* the Vernam (one-time pad) cipher for tag names in the DSI index table and
+  translated queries (§5.1.1, §6.1) — :mod:`repro.crypto.vernam`;
+* a keyed, strictly monotone order-preserving encryption function as the
+  ``enc`` used by OPESS (§5.2.1) — :mod:`repro.crypto.ope`.
+
+:mod:`repro.crypto.keyring` holds the client's key hierarchy and derives all
+of the above from a single master secret.
+"""
+
+from repro.crypto.sha256 import sha256
+from repro.crypto.hmac import hmac_sha256
+from repro.crypto.prf import PRF, DeterministicRandom
+from repro.crypto.aes import AES128
+from repro.crypto.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_transform,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+from repro.crypto.vernam import VernamCipher, DeterministicTagCipher
+from repro.crypto.ope import OrderPreservingEncryption
+from repro.crypto.keyring import ClientKeyring
+
+__all__ = [
+    "sha256",
+    "hmac_sha256",
+    "PRF",
+    "DeterministicRandom",
+    "AES128",
+    "cbc_encrypt",
+    "cbc_decrypt",
+    "ctr_transform",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "VernamCipher",
+    "DeterministicTagCipher",
+    "OrderPreservingEncryption",
+    "ClientKeyring",
+]

@@ -1,0 +1,198 @@
+"""AES-128 block cipher, implemented from the FIPS-197 specification.
+
+Used (through the modes in :mod:`repro.crypto.modes`) to encrypt the
+serialized subtrees that become encryption blocks (§4.1).  The S-box is
+derived programmatically from its definition — multiplicative inverse in
+GF(2⁸) followed by the affine transform — rather than hard-coded, and the
+whole cipher is validated against the FIPS-197 Appendix C test vector in the
+test suite.
+"""
+
+from __future__ import annotations
+
+
+def _gf_multiply(a: int, b: int) -> int:
+    """Multiply two elements of GF(2⁸) modulo the AES polynomial x⁸+x⁴+x³+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        high_bit = a & 0x80
+        a = (a << 1) & 0xFF
+        if high_bit:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(2⁸) (0 maps to 0, per the S-box spec)."""
+    if a == 0:
+        return 0
+    # a^(2^8 - 2) = a^254 is the inverse in GF(2^8).
+    result = 1
+    base = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = _gf_multiply(result, base)
+        base = _gf_multiply(base, base)
+        exponent >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    """Construct the forward and inverse S-boxes from first principles."""
+    forward = bytearray(256)
+    for value in range(256):
+        inverse = _gf_inverse(value)
+        # Affine transform: b'_i = b_i ^ b_{i+4} ^ b_{i+5} ^ b_{i+6} ^ b_{i+7} ^ c_i
+        transformed = 0
+        for bit in range(8):
+            bit_value = (
+                (inverse >> bit)
+                ^ (inverse >> ((bit + 4) % 8))
+                ^ (inverse >> ((bit + 5) % 8))
+                ^ (inverse >> ((bit + 6) % 8))
+                ^ (inverse >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            transformed |= bit_value << bit
+        forward[value] = transformed
+    backward = bytearray(256)
+    for value, substituted in enumerate(forward):
+        backward[substituted] = value
+    return bytes(forward), bytes(backward)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+# Precomputed GF(2^8) multiplication tables for the MixColumns constants.
+# Table lookups replace per-byte _gf_multiply loops in the hot path; the
+# tables themselves are still derived from the from-scratch field
+# arithmetic above.
+_MUL = {
+    constant: bytes(_gf_multiply(value, constant) for value in range(256))
+    for constant in (2, 3, 9, 11, 13, 14)
+}
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+class AES128:
+    """AES with a 128-bit key: 10 rounds over a 4×4 byte state."""
+
+    BLOCK_SIZE = 16
+    KEY_SIZE = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != self.KEY_SIZE:
+            raise ValueError("AES-128 requires a 16-byte key")
+        self._round_keys = self._expand_key(bytes(key))
+
+    # ------------------------------------------------------------------
+    # Key schedule
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _expand_key(key: bytes) -> list[list[int]]:
+        """FIPS-197 §5.2 key expansion to 11 round keys of 16 bytes each."""
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 44):
+            word = list(words[i - 1])
+            if i % 4 == 0:
+                word = word[1:] + word[:1]                     # RotWord
+                word = [_SBOX[b] for b in word]                # SubWord
+                word[0] ^= _RCON[i // 4 - 1]
+            words.append([w ^ p for w, p in zip(word, words[i - 4])])
+        round_keys = []
+        for round_index in range(11):
+            flat: list[int] = []
+            for word in words[round_index * 4 : round_index * 4 + 4]:
+                flat.extend(word)
+            round_keys.append(flat)
+        return round_keys
+
+    # ------------------------------------------------------------------
+    # Round transformations (state is a flat list of 16 bytes,
+    # column-major as in the spec: state[row + 4*col]).
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _add_round_key(state: list[int], round_key: list[int]) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: list[int], box: bytes) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> None:
+        for row in range(1, 4):
+            row_bytes = [state[row + 4 * col] for col in range(4)]
+            row_bytes = row_bytes[row:] + row_bytes[:row]
+            for col in range(4):
+                state[row + 4 * col] = row_bytes[col]
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> None:
+        for row in range(1, 4):
+            row_bytes = [state[row + 4 * col] for col in range(4)]
+            row_bytes = row_bytes[-row:] + row_bytes[:-row]
+            for col in range(4):
+                state[row + 4 * col] = row_bytes[col]
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> None:
+        mul2, mul3 = _MUL[2], _MUL[3]
+        for col in range(0, 16, 4):
+            a0, a1, a2, a3 = state[col : col + 4]
+            state[col + 0] = mul2[a0] ^ mul3[a1] ^ a2 ^ a3
+            state[col + 1] = a0 ^ mul2[a1] ^ mul3[a2] ^ a3
+            state[col + 2] = a0 ^ a1 ^ mul2[a2] ^ mul3[a3]
+            state[col + 3] = mul3[a0] ^ a1 ^ a2 ^ mul2[a3]
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> None:
+        mul9, mul11, mul13, mul14 = _MUL[9], _MUL[11], _MUL[13], _MUL[14]
+        for col in range(0, 16, 4):
+            a0, a1, a2, a3 = state[col : col + 4]
+            state[col + 0] = mul14[a0] ^ mul11[a1] ^ mul13[a2] ^ mul9[a3]
+            state[col + 1] = mul9[a0] ^ mul14[a1] ^ mul11[a2] ^ mul13[a3]
+            state[col + 2] = mul13[a0] ^ mul9[a1] ^ mul14[a2] ^ mul11[a3]
+            state[col + 3] = mul11[a0] ^ mul13[a1] ^ mul9[a2] ^ mul14[a3]
+
+    # ------------------------------------------------------------------
+    # Public block interface
+    # ------------------------------------------------------------------
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(plaintext) != self.BLOCK_SIZE:
+            raise ValueError("plaintext block must be 16 bytes")
+        state = list(plaintext)
+        self._add_round_key(state, self._round_keys[0])
+        for round_index in range(1, 10):
+            self._sub_bytes(state, _SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[round_index])
+        self._sub_bytes(state, _SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[10])
+        return bytes(state)
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block."""
+        if len(ciphertext) != self.BLOCK_SIZE:
+            raise ValueError("ciphertext block must be 16 bytes")
+        state = list(ciphertext)
+        self._add_round_key(state, self._round_keys[10])
+        for round_index in range(9, 0, -1):
+            self._inv_shift_rows(state)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, self._round_keys[round_index])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

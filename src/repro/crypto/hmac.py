@@ -1,0 +1,47 @@
+"""HMAC-SHA256 per RFC 2104, over our from-scratch SHA-256.
+
+Used as the keyed PRF underlying key derivation, the deterministic tag
+cipher's keystream, and the order-preserving encryption function's gap
+generator.  Cross-checked against the standard library ``hmac`` module in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha256 import sha256
+
+_BLOCK_SIZE = 64  # SHA-256 block size in bytes
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """Compute HMAC-SHA256(key, message) (32 bytes)."""
+    if not isinstance(key, (bytes, bytearray)):
+        raise TypeError("hmac key must be bytes")
+    if not isinstance(message, (bytes, bytearray)):
+        raise TypeError("hmac message must be bytes")
+
+    key = bytes(key)
+    if len(key) > _BLOCK_SIZE:
+        key = sha256(key)
+    key = key.ljust(_BLOCK_SIZE, b"\x00")
+
+    inner_pad = bytes(byte ^ 0x36 for byte in key)
+    outer_pad = bytes(byte ^ 0x5C for byte in key)
+    return sha256(outer_pad + sha256(inner_pad + bytes(message)))
+
+
+def derive_key(master: bytes, label: str, *context: str) -> bytes:
+    """Derive a 32-byte subkey from a master secret.
+
+    A simple HKDF-expand-style derivation: the label and context strings are
+    length-prefixed so distinct derivations can never collide
+    (``derive_key(k, "a", "bc") != derive_key(k, "ab", "c")``).
+    """
+    material = _length_prefixed(label.encode("utf-8"))
+    for item in context:
+        material += _length_prefixed(item.encode("utf-8"))
+    return hmac_sha256(master, material)
+
+
+def _length_prefixed(data: bytes) -> bytes:
+    return len(data).to_bytes(4, "big") + data

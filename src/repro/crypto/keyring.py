@@ -1,0 +1,89 @@
+"""The client's key hierarchy.
+
+The data owner holds a single master secret; every other key in the system —
+block-encryption keys, the tag cipher key, the OPE key, the per-field OPESS
+splitting/scaling seeds, the DSI weight stream and the decoy stream — is
+derived from it with the HKDF-style labelled derivation in
+:mod:`repro.crypto.hmac`.  Nothing derived here ever leaves the client;
+the server sees only ciphertexts and metadata.
+
+Determinism matters: hosting the same database twice with the same master
+key produces byte-identical ciphertext and metadata, which the test suite
+exploits, and which models the paper's setting where the client can always
+re-derive "the same keys used for the construction of the DSI index table"
+(§6.1) at query-translation time.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128
+from repro.crypto.hmac import derive_key
+from repro.crypto.ope import OrderPreservingEncryption
+from repro.crypto.prf import DeterministicRandom, PRF
+from repro.crypto.vernam import DeterministicTagCipher
+
+
+class ClientKeyring:
+    """All client-side secrets, derived from one master key."""
+
+    def __init__(self, master_key: bytes) -> None:
+        if len(master_key) < 16:
+            raise ValueError("master key must be at least 16 bytes")
+        self._master = bytes(master_key)
+        self._tag_cipher: DeterministicTagCipher | None = None
+        self._ope: OrderPreservingEncryption | None = None
+        self._block_cipher: AES128 | None = None
+
+    @classmethod
+    def from_passphrase(cls, passphrase: str) -> "ClientKeyring":
+        """Derive a keyring from a human passphrase (demo convenience)."""
+        return cls(derive_key(passphrase.encode("utf-8"), "master"))
+
+    # ------------------------------------------------------------------
+    # Ciphers
+    # ------------------------------------------------------------------
+    @property
+    def block_cipher(self) -> AES128:
+        """AES instance for encryption-block payloads."""
+        if self._block_cipher is None:
+            self._block_cipher = AES128(derive_key(self._master, "block")[:16])
+        return self._block_cipher
+
+    def block_iv(self, block_id: int) -> bytes:
+        """Deterministic per-block CBC IV."""
+        return derive_key(self._master, "block-iv", str(block_id))[:16]
+
+    @property
+    def tag_cipher(self) -> DeterministicTagCipher:
+        """The Vernam-style tag cipher shared by index build and translation."""
+        if self._tag_cipher is None:
+            self._tag_cipher = DeterministicTagCipher(
+                derive_key(self._master, "tags")
+            )
+        return self._tag_cipher
+
+    @property
+    def ope(self) -> OrderPreservingEncryption:
+        """The order-preserving encryption function used by OPESS."""
+        if self._ope is None:
+            self._ope = OrderPreservingEncryption(derive_key(self._master, "ope"))
+        return self._ope
+
+    # ------------------------------------------------------------------
+    # Deterministic randomness streams
+    # ------------------------------------------------------------------
+    def dsi_weight_stream(self) -> DeterministicRandom:
+        """Stream of DSI gap weights w1, w2 ∈ (0, 0.5) (§5.1)."""
+        return DeterministicRandom(derive_key(self._master, "dsi-weights"))
+
+    def decoy_stream(self) -> DeterministicRandom:
+        """Stream of random decoy values (§4.1)."""
+        return DeterministicRandom(derive_key(self._master, "decoys"))
+
+    def opess_stream(self, field: str) -> DeterministicRandom:
+        """Per-field stream for OPESS splitting weights and scale factors."""
+        return DeterministicRandom(derive_key(self._master, "opess", field))
+
+    def field_prf(self, field: str) -> PRF:
+        """Per-field PRF (used to pick key indices for split chunks)."""
+        return PRF(derive_key(self._master, "field-prf", field))

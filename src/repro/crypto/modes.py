@@ -1,0 +1,82 @@
+"""Block cipher modes of operation and PKCS#7 padding.
+
+Encryption blocks (serialized subtrees) are encrypted with AES-128-CBC and a
+deterministic per-block IV derived from the block id — the hosted database
+must be reproducible from the client keyring, and CBC with distinct IVs keeps
+equal plaintext subtrees from producing equal ciphertexts (the same goal the
+paper's decoys serve at the value level, here at the byte level).  CTR mode
+is provided for keystream-style uses.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128
+
+BLOCK = AES128.BLOCK_SIZE
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK) -> bytes:
+    """Append PKCS#7 padding (always at least one byte)."""
+    if not 0 < block_size < 256:
+        raise ValueError("block size must be in (0, 256)")
+    pad_length = block_size - (len(data) % block_size)
+    return data + bytes([pad_length]) * pad_length
+
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size != 0:
+        raise ValueError("invalid padded data length")
+    pad_length = data[-1]
+    if not 0 < pad_length <= block_size:
+        raise ValueError("invalid padding byte")
+    if data[-pad_length:] != bytes([pad_length]) * pad_length:
+        raise ValueError("corrupt padding")
+    return data[:-pad_length]
+
+
+def cbc_encrypt(cipher: AES128, iv: bytes, plaintext: bytes) -> bytes:
+    """CBC-encrypt ``plaintext`` (padded internally with PKCS#7)."""
+    if len(iv) != BLOCK:
+        raise ValueError("IV must be one cipher block")
+    padded = pkcs7_pad(plaintext)
+    previous = iv
+    out = bytearray()
+    for offset in range(0, len(padded), BLOCK):
+        block = bytes(
+            p ^ c for p, c in zip(padded[offset : offset + BLOCK], previous)
+        )
+        encrypted = cipher.encrypt_block(block)
+        out.extend(encrypted)
+        previous = encrypted
+    return bytes(out)
+
+
+def cbc_decrypt(cipher: AES128, iv: bytes, ciphertext: bytes) -> bytes:
+    """CBC-decrypt and remove PKCS#7 padding."""
+    if len(iv) != BLOCK:
+        raise ValueError("IV must be one cipher block")
+    if len(ciphertext) % BLOCK != 0:
+        raise ValueError("ciphertext length must be a multiple of the block size")
+    previous = iv
+    out = bytearray()
+    for offset in range(0, len(ciphertext), BLOCK):
+        block = ciphertext[offset : offset + BLOCK]
+        decrypted = cipher.decrypt_block(block)
+        out.extend(d ^ p for d, p in zip(decrypted, previous))
+        previous = block
+    return pkcs7_unpad(bytes(out))
+
+
+def ctr_transform(cipher: AES128, nonce: bytes, data: bytes) -> bytes:
+    """CTR-mode keystream XOR (encryption and decryption are the same op)."""
+    if len(nonce) != 8:
+        raise ValueError("CTR nonce must be 8 bytes")
+    out = bytearray()
+    counter = 0
+    for offset in range(0, len(data), BLOCK):
+        keystream = cipher.encrypt_block(nonce + counter.to_bytes(8, "big"))
+        chunk = data[offset : offset + BLOCK]
+        out.extend(d ^ k for d, k in zip(chunk, keystream))
+        counter += 1
+    return bytes(out)

@@ -1,0 +1,113 @@
+"""Keyed PRF / PRG and deterministic randomness helpers.
+
+Several pieces of the system need *keyed, reproducible* randomness:
+
+* the DSI index draws the gap weights ``w1, w2`` per node (§5.1, "generated
+  at random before assigning an interval", known only to the client);
+* OPESS draws the splitting displacements ``w_i`` and the scale factors
+  ``s_i`` (§5.2.1);
+* decoy values are "randomly generated data values" (§4.1).
+
+All of them use :class:`DeterministicRandom`, a counter-mode PRG over
+HMAC-SHA256, so a client keyring reproduces the exact same hosted database
+and metadata from the same master key — which is what makes query
+translation on the client line up with the index on the server.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hmac import hmac_sha256
+
+
+class PRF:
+    """A keyed pseudo-random function ``bytes -> 32 bytes``."""
+
+    def __init__(self, key: bytes) -> None:
+        self._key = bytes(key)
+
+    def __call__(self, message: bytes) -> bytes:
+        return hmac_sha256(self._key, message)
+
+    def integer(self, message: bytes, bits: int = 64) -> int:
+        """PRF output truncated to an unsigned ``bits``-bit integer."""
+        if not 0 < bits <= 256:
+            raise ValueError("bits must be in (0, 256]")
+        digest = self(message)
+        return int.from_bytes(digest, "big") >> (256 - bits)
+
+
+class DeterministicRandom:
+    """Counter-mode PRG exposing a ``random``-like interface.
+
+    The stream is a function of ``(key, stream_label)`` only.  Distinct
+    labels give independent streams from the same key, which is how the
+    keyring hands out per-purpose randomness.  The stream cipher is
+    SipHash-2-4 in counter mode (the key is folded with the label through
+    HMAC-SHA256 first), trading the hash's conservative margin for the
+    ~50× speed the hosting pipeline needs from its weight/decoy streams.
+    """
+
+    def __init__(self, key: bytes, stream_label: str = "") -> None:
+        from repro.crypto.siphash import SipPRF
+
+        folded = hmac_sha256(key, b"drbg:" + stream_label.encode("utf-8"))
+        self._prf = SipPRF(folded[:16])
+        self._counter = 0
+        self._buffer = b""
+
+    def _refill(self) -> None:
+        block = self._prf.block(self._counter.to_bytes(8, "big"))
+        self._counter += 1
+        self._buffer += block
+
+    def bytes(self, count: int) -> bytes:
+        """Next ``count`` bytes of the stream."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        while len(self._buffer) < count:
+            self._refill()
+        out, self._buffer = self._buffer[:count], self._buffer[count:]
+        return out
+
+    def uint(self, bits: int = 64) -> int:
+        """Next unsigned integer with the given bit width."""
+        byte_count = (bits + 7) // 8
+        value = int.from_bytes(self.bytes(byte_count), "big")
+        return value >> (byte_count * 8 - bits)
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """Next float uniform in ``[low, high)`` (53-bit resolution)."""
+        fraction = self.uint(53) / (1 << 53)
+        return low + fraction * (high - low)
+
+    def randint(self, low: int, high: int) -> int:
+        """Next integer uniform in the inclusive range ``[low, high]``.
+
+        Uses rejection sampling so the distribution is exactly uniform.
+        """
+        if low > high:
+            raise ValueError("low must be <= high")
+        span = high - low + 1
+        bits = max(1, span.bit_length())
+        while True:
+            candidate = self.uint(bits)
+            if candidate < span:
+                return low + candidate
+
+    def choice(self, items: list):
+        """Pick one item uniformly."""
+        if not items:
+            raise ValueError("cannot choose from an empty list")
+        return items[self.randint(0, len(items) - 1)]
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher–Yates shuffle."""
+        for index in range(len(items) - 1, 0, -1):
+            swap = self.randint(0, index)
+            items[index], items[swap] = items[swap], items[index]
+
+    def token(self, length: int = 8, alphabet: str = "abcdefghijklmnopqrstuvwxyz") -> str:
+        """A random string over ``alphabet`` (used for decoy values)."""
+        return "".join(
+            alphabet[self.randint(0, len(alphabet) - 1)] for _ in range(length)
+        )

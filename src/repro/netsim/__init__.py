@@ -1,0 +1,5 @@
+"""Simulated client↔server channel with byte and latency accounting."""
+
+from repro.netsim.channel import Channel, TransferRecord
+
+__all__ = ["Channel", "TransferRecord"]

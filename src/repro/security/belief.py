@@ -1,0 +1,104 @@
+"""Attacker belief tracking (Definition 3.5 / Theorem 6.1).
+
+Secure query answering demands that the server's belief probability
+``Bel(B(A))`` — that encryption block B satisfies a query A captured by
+some SC — never increases as it observes more client queries and its own
+responses.  The tracker models the Theorem 6.1 argument:
+
+* for node-type SCs the tag tokens are Vernam-encrypted, so an observed
+  query reveals nothing about which tag it targets: the belief stays at
+  the prior (1 / #candidate tags);
+* for association SCs the first observed value-range query moves the
+  belief from the prior ``1/k`` (k plaintext values) down to
+  ``1/C(n−1, k−1)`` (n ciphertext values) and keeps it there — a
+  *decrease*, after which further queries leave it fixed.
+
+The tracker is observational: the benchmark feeds it a real query stream
+from a hosted system and asserts the monotone non-increase that the
+theorem proves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.security.counting import value_index_candidates
+
+
+@dataclass
+class BeliefRecord:
+    """Belief trajectory for one proposition B(A)."""
+
+    proposition: str
+    history: list[Fraction] = field(default_factory=list)
+
+    @property
+    def current(self) -> Fraction:
+        return self.history[-1]
+
+    def never_increased(self) -> bool:
+        return all(
+            later <= earlier
+            for earlier, later in zip(self.history, self.history[1:])
+        )
+
+
+class BeliefTracker:
+    """Tracks Bel(B(A)) across an observed query/answer stream."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, BeliefRecord] = {}
+
+    def observe_node_query(
+        self, proposition: str, candidate_tags: int
+    ) -> Fraction:
+        """A query against a node-type SC target.
+
+        The Vernam token is independent of the tag, so the posterior stays
+        at the uniform prior over the candidate tag space.
+        """
+        if candidate_tags < 1:
+            raise ValueError("candidate_tags must be positive")
+        belief = Fraction(1, candidate_tags)
+        self._append(proposition, belief)
+        return belief
+
+    def observe_association_query(
+        self,
+        proposition: str,
+        plaintext_values: int,
+        ciphertext_values: int,
+    ) -> Fraction:
+        """A value-range query against an association SC endpoint.
+
+        Theorem 6.1: the belief moves from 1/k to 1/C(n−1, k−1) on the
+        first observation (a non-increase since C(n−1,k−1) ≥ k for n > k)
+        and stays there for subsequent similar queries.
+        """
+        record = self._records.get(proposition)
+        if record is None:
+            prior = Fraction(1, plaintext_values)
+            self._append(proposition, prior)
+        candidates = value_index_candidates(
+            ciphertext_values, plaintext_values
+        )
+        belief = Fraction(1, candidates)
+        self._append(proposition, belief)
+        return belief
+
+    def _append(self, proposition: str, belief: Fraction) -> None:
+        record = self._records.setdefault(
+            proposition, BeliefRecord(proposition)
+        )
+        record.history.append(belief)
+
+    def record(self, proposition: str) -> BeliefRecord:
+        return self._records[proposition]
+
+    def all_records(self) -> list[BeliefRecord]:
+        return list(self._records.values())
+
+    def secure(self) -> bool:
+        """Definition 3.5: no tracked belief ever increased."""
+        return all(record.never_increased() for record in self._records.values())

@@ -1,0 +1,103 @@
+"""Candidate-database counting: the quantitative core of Theorems 4.1–5.2.
+
+The paper's security arguments all have the same shape: given what the
+attacker observes, count the plaintext databases that are consistent with
+the observation.  Security holds when that count is "large" (exponential in
+a domain/schema parameter) and the observation doesn't change the prior.
+This module computes those counts exactly with big integers:
+
+* :func:`database_candidates` — Theorem 4.1: with decoys, every plaintext
+  value of frequency kᵢ maps to kᵢ distinct ciphertexts, so the attacker
+  faces ``(Σkᵢ)! / Πkᵢ!`` consistent assignments (27 720 for the paper's
+  k = (3,4,5) example).
+* :func:`structural_candidates` — Theorem 5.1: an encryption block with nᵢ
+  leaves shown as kᵢ grouped intervals admits ``C(nᵢ−1, kᵢ−1)`` subtree
+  shapes; blocks multiply (1001 for the n = 15, k = 5 example).
+* :func:`value_index_candidates` — Theorem 5.2: splitting k plaintext
+  values into n ciphertext values admits ``C(n−1, k−1)`` order-preserving
+  partitions.
+"""
+
+from __future__ import annotations
+
+from math import comb, factorial
+from typing import Iterable
+
+
+def database_candidates(frequencies: Iterable[int]) -> int:
+    """Theorem 4.1's count: (Σkᵢ)! / Π(kᵢ!).
+
+    ``frequencies`` are the occurrence counts of the distinct plaintext
+    values of one encrypted leaf field.  After per-occurrence decoy
+    encryption the attacker sees Σkᵢ distinct ciphertexts of frequency 1;
+    the number of ways to partition them back into the known frequency
+    classes is the multinomial coefficient.
+    """
+    counts = list(frequencies)
+    if any(count <= 0 for count in counts):
+        raise ValueError("frequencies must be positive")
+    total = sum(counts)
+    result = factorial(total)
+    for count in counts:
+        result //= factorial(count)
+    return result
+
+
+def structural_candidates(blocks: Iterable[tuple[int, int]]) -> int:
+    """Theorem 5.1's count: Π C(nᵢ−1, kᵢ−1) over encryption blocks.
+
+    Each pair is ``(nᵢ, kᵢ)``: the block has nᵢ leaf nodes represented by
+    kᵢ grouped intervals in the DSI table.  Each composition of nᵢ into kᵢ
+    positive parts is a distinct candidate subtree shape.
+    """
+    result = 1
+    for leaves, intervals in blocks:
+        if not 1 <= intervals <= leaves:
+            raise ValueError(
+                f"need 1 <= intervals <= leaves, got ({leaves}, {intervals})"
+            )
+        result *= comb(leaves - 1, intervals - 1)
+    return result
+
+
+def value_index_candidates(ciphertext_values: int, plaintext_values: int) -> int:
+    """Theorem 5.2's count: C(n−1, k−1) order-preserving partitions.
+
+    ``n`` ciphertext values partitioned into ``k`` contiguous, non-empty,
+    order-preserving groups — each a candidate mapping of ciphertexts back
+    to plaintext values consistent with the observed index.
+    """
+    n, k = ciphertext_values, plaintext_values
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got (n={n}, k={k})")
+    return comb(n - 1, k - 1)
+
+
+def compositions(total: int, parts: int) -> list[tuple[int, ...]]:
+    """All compositions of ``total`` into ``parts`` positive integers.
+
+    The explicit enumeration backing :func:`structural_candidates` — used
+    by tests to verify the closed form, and by the Figure 5 demo to show
+    concrete candidate subtree shapes (7 = 1+1+5 = 1+2+4 = ...).
+    """
+    if parts == 1:
+        return [(total,)] if total >= 1 else []
+    out: list[tuple[int, ...]] = []
+    for first in range(1, total - parts + 2):
+        for rest in compositions(total - first, parts - 1):
+            out.append((first,) + rest)
+    return out
+
+
+def paper_examples() -> dict[str, int]:
+    """The worked numbers quoted in the paper, for the test suite."""
+    return {
+        # §4.1: k1=3, k2=4, k3=5 -> 27720 candidate databases.
+        "thm41_345": database_candidates([3, 4, 5]),
+        # §5.1: n=15, k=5 -> C(14,4) = 1001.
+        "thm51_15_5": structural_candidates([(15, 5)]),
+        # §5.1: n=7, k=3 -> 15 possible assignments (Figure 5 text).
+        "thm51_7_3": structural_candidates([(7, 3)]),
+        # §5.2: n=15, k=5 -> 1001 again (same binomial).
+        "thm52_15_5": value_index_candidates(15, 5),
+    }

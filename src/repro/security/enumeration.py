@@ -1,0 +1,80 @@
+"""Exhaustive candidate enumeration: empirical ground truth for the theorems.
+
+The closed-form counts in :mod:`repro.security.counting` are only as
+trustworthy as their derivations; for small instances we can *enumerate*
+the candidate sets directly and compare.  The test suite uses these
+enumerators to certify each formula on every tractable instance size:
+
+* :func:`enumerate_value_assignments` — all ways to partition a set of
+  frequency-1 ciphertexts among plaintext values with known counts
+  (Theorem 4.1's multinomial);
+* :func:`enumerate_interval_groupings` — all sibling-composition shapes a
+  grouped block admits (Theorem 5.1's ``C(n−1, k−1)``), re-exported from
+  the counting module's composition enumerator;
+* :func:`enumerate_order_preserving_partitions` — all order-preserving
+  partitions of n ciphertext values into k non-empty runs (Theorem 5.2).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Sequence
+
+from repro.security.counting import compositions
+
+
+def enumerate_value_assignments(
+    frequencies: Sequence[int],
+) -> Iterator[tuple[frozenset[int], ...]]:
+    """Yield every assignment of ``sum(frequencies)`` ciphertexts to values.
+
+    Ciphertexts are represented by indices ``0..m-1``; an assignment gives
+    value ``i`` a set of exactly ``frequencies[i]`` of them, all sets
+    disjoint.  The number of yielded assignments equals Theorem 4.1's
+    ``(Σkᵢ)!/Πkᵢ!``.
+    """
+    total = sum(frequencies)
+
+    def recurse(
+        remaining: frozenset[int], counts: Sequence[int]
+    ) -> Iterator[tuple[frozenset[int], ...]]:
+        if not counts:
+            if not remaining:
+                yield ()
+            return
+        first, rest = counts[0], counts[1:]
+        for chosen in combinations(sorted(remaining), first):
+            chosen_set = frozenset(chosen)
+            for tail in recurse(remaining - chosen_set, rest):
+                yield (chosen_set,) + tail
+
+    yield from recurse(frozenset(range(total)), list(frequencies))
+
+
+def enumerate_interval_groupings(
+    leaves: int, intervals: int
+) -> list[tuple[int, ...]]:
+    """All ways ``intervals`` grouped intervals can cover ``leaves`` leaves.
+
+    Each result is a composition (ordered positive parts summing to
+    ``leaves``) — the candidate subtree shapes of Figure 5.
+    """
+    return compositions(leaves, intervals)
+
+
+def enumerate_order_preserving_partitions(
+    ciphertext_values: int, plaintext_values: int
+) -> Iterator[tuple[tuple[int, ...], ...]]:
+    """All order-preserving partitions of n ciphertexts into k runs.
+
+    Ciphertexts ``0..n-1`` are split at ``k−1`` cut positions; each run is
+    the candidate ciphertext set of one plaintext value (Theorem 5.2).
+    """
+    n, k = ciphertext_values, plaintext_values
+    indices = list(range(n))
+    for cuts in combinations(range(1, n), k - 1):
+        boundaries = (0,) + cuts + (n,)
+        yield tuple(
+            tuple(indices[boundaries[i] : boundaries[i + 1]])
+            for i in range(k)
+        )

@@ -1,0 +1,98 @@
+"""Database indistinguishability (Definition 3.1) and candidate generation.
+
+Two plaintext databases D, D′ are indistinguishable (D ∼ D′) to the §3.3
+attacker when (1) their encryptions have equal size and (2) for each field
+the multiset of ciphertext occurrence frequencies is equal.  This module
+checks the definition on concrete documents and *constructs* candidate
+databases — value-permuted variants of a hosted database that are
+indistinguishable from it yet break the protected associations, which is
+exactly the candidate family used in the proofs of Theorems 4.1 and 5.2.
+"""
+
+from __future__ import annotations
+
+from repro.core.constraints import SecurityConstraint
+from repro.crypto.prf import DeterministicRandom
+from repro.xmldb.node import Attribute, Document, Element, Text
+from repro.xmldb.serializer import serialized_size
+from repro.xmldb.stats import leaf_field_name, same_distribution, value_frequencies
+
+
+def indistinguishable(left: Document, right: Document) -> bool:
+    """Definition 3.1 on plaintext documents.
+
+    Condition (1) — equal encrypted size — is checked on the serialized
+    plaintext size, which determines ciphertext size under our (and the
+    paper's) length-preserving-modulo-padding block encryption when the
+    value multisets match.  Condition (2) — equal per-field frequency
+    multisets over the same domain — is checked per field.
+    """
+    if serialized_size(left) != serialized_size(right):
+        return False
+    left_fields = value_frequencies(left)
+    right_fields = value_frequencies(right)
+    if set(left_fields) != set(right_fields):
+        return False
+    for field_name, left_histogram in left_fields.items():
+        right_histogram = right_fields[field_name]
+        if set(left_histogram) != set(right_histogram):
+            return False  # different domains
+        if not same_distribution(left_histogram, right_histogram):
+            return False
+    return True
+
+
+def permute_field_values(
+    document: Document, field_name: str, seed: int = 0
+) -> Document:
+    """A candidate database: the field's values permuted across positions.
+
+    Produces a D′ with identical structure and identical per-field
+    histograms in which the value *associations* differ — the standard
+    candidate construction in the Theorem 4.1 / 5.2 proofs.  Values are
+    permuted only between leaves whose values have equal string length, so
+    |E(D′)| = |E(D)| and the size-based attack cannot separate them.
+    """
+    candidate = document.clone()
+    leaves = [
+        leaf
+        for leaf in candidate.leaves()
+        if leaf_field_name(leaf) == field_name and leaf.text_value() is not None
+    ]
+    by_length: dict[int, list] = {}
+    for leaf in leaves:
+        value = leaf.text_value()
+        assert value is not None
+        by_length.setdefault(len(value), []).append(leaf)
+
+    rng = DeterministicRandom(
+        seed.to_bytes(8, "big").rjust(16, b"\x00"), f"permute:{field_name}"
+    )
+    for group in by_length.values():
+        values = [leaf.text_value() for leaf in group]
+        rng.shuffle(values)
+        for leaf, value in zip(group, values):
+            _set_leaf_value(leaf, value)
+    candidate.renumber()
+    return candidate
+
+
+def breaks_association(
+    original: Document,
+    candidate: Document,
+    constraint: SecurityConstraint,
+) -> bool:
+    """True if some association protected in D does not hold in D′."""
+    original_pairs = set(constraint.association_pairs(original))
+    candidate_pairs = set(constraint.association_pairs(candidate))
+    return bool(original_pairs - candidate_pairs)
+
+
+def _set_leaf_value(leaf, value: str) -> None:
+    if isinstance(leaf, Attribute):
+        leaf.value = value
+        return
+    assert isinstance(leaf, Element)
+    child = leaf.children[0]
+    assert isinstance(child, Text)
+    child.value = value

@@ -1,0 +1,62 @@
+"""The Figure 2 health-care database and Example 3.1 security constraints.
+
+The database reproduces the paper's running example exactly: a hospital
+with two patients (Betty and Matt), their SSNs, treatments (disease +
+doctor), ages and insurance policies with coverage attributes.  The
+Example 3.1 constraint set protects insurance elements, the pname↔SSN and
+pname↔disease associations, and the disease↔doctor association.
+"""
+
+from __future__ import annotations
+
+from repro.core.constraints import SecurityConstraint, parse_constraints
+from repro.xmldb.builder import TreeBuilder
+from repro.xmldb.node import Document
+
+#: Example 3.1, verbatim.
+HEALTHCARE_CONSTRAINTS = [
+    "//insurance",
+    "//patient:(/pname, /SSN)",
+    "//patient:(/pname, //disease)",
+    "//treat:(/disease, /doctor)",
+]
+
+
+def build_healthcare_database() -> Document:
+    """The Figure 2 instance."""
+    builder = TreeBuilder("hospital")
+    with builder.element("patient"):
+        builder.leaf("pname", "Betty")
+        builder.leaf("SSN", "763895")
+        with builder.element("treat"):
+            builder.leaf("disease", "diarrhea")
+            builder.leaf("doctor", "Smith")
+        with builder.element("treat"):
+            builder.leaf("disease", "diarrhea")
+            builder.leaf("doctor", "Walker")
+        builder.leaf("age", "35")
+        with builder.element("insurance"):
+            builder.leaf("policy#", "34221")
+            builder.leaf("policy#", "26544")
+            builder.attribute("coverage", "1000000")
+    with builder.element("patient"):
+        builder.leaf("pname", "Matt")
+        builder.leaf("SSN", "276543")
+        with builder.element("treat"):
+            builder.leaf("disease", "leukemia")
+            builder.leaf("doctor", "Brown")
+        builder.leaf("age", "40")
+        with builder.element("insurance"):
+            builder.leaf("policy#", "26544")
+            builder.leaf("policy#", "78543")
+            builder.attribute("coverage", "10000")
+    return builder.document()
+
+
+def healthcare_constraints() -> list[SecurityConstraint]:
+    """Example 3.1 as parsed constraints."""
+    return parse_constraints(HEALTHCARE_CONSTRAINTS)
+
+
+#: The Figure 7(b) running-example query.
+EXAMPLE_QUERY = "//patient[.//insurance//@coverage>=10000]//SSN"

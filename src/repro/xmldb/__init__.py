@@ -1,0 +1,35 @@
+"""XML document model: tree nodes, parser, serializer, builder and statistics.
+
+This package is the data substrate of the reproduction.  It deliberately does
+not depend on ``xml.etree`` — the document model is built from scratch so that
+hosted (partially encrypted) databases can mix ordinary element/text nodes
+with :class:`~repro.xmldb.node.EncryptedBlockNode` placeholders, and so that
+every node carries the stable document-order identity that the DSI index and
+the structural-join machinery key on.
+"""
+
+from repro.xmldb.node import (
+    Attribute,
+    Document,
+    Element,
+    EncryptedBlockNode,
+    Node,
+    Text,
+)
+from repro.xmldb.parser import XMLParseError, parse_document, parse_fragment
+from repro.xmldb.serializer import serialize
+from repro.xmldb.builder import TreeBuilder
+
+__all__ = [
+    "Node",
+    "Element",
+    "Text",
+    "Attribute",
+    "Document",
+    "EncryptedBlockNode",
+    "parse_document",
+    "parse_fragment",
+    "XMLParseError",
+    "serialize",
+    "TreeBuilder",
+]

@@ -1,0 +1,75 @@
+"""Fluent programmatic construction of document trees.
+
+Workload generators build large synthetic documents; spelling those out as
+string XML and re-parsing would double the generation cost, so they use this
+builder instead::
+
+    builder = TreeBuilder("hospital")
+    with builder.element("patient"):
+        builder.leaf("pname", "Betty")
+        with builder.element("treat"):
+            builder.leaf("disease", "diarrhea")
+            builder.leaf("doctor", "Smith")
+    doc = builder.document()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.xmldb.node import Document, Element, Text
+
+
+class TreeBuilder:
+    """Stack-based builder producing a :class:`Document`."""
+
+    def __init__(self, root_tag: str) -> None:
+        self._root = Element(root_tag)
+        self._stack: list[Element] = [self._root]
+
+    @property
+    def current(self) -> Element:
+        """The element new children are currently appended to."""
+        return self._stack[-1]
+
+    @contextmanager
+    def element(self, tag: str, **attributes: str) -> Iterator[Element]:
+        """Open a child element for the duration of the ``with`` block."""
+        element = Element(tag)
+        for name, value in attributes.items():
+            element.set_attribute(name, str(value))
+        self.current.append(element)
+        self._stack.append(element)
+        try:
+            yield element
+        finally:
+            popped = self._stack.pop()
+            assert popped is element
+
+    def leaf(self, tag: str, value: object, **attributes: str) -> Element:
+        """Append a leaf element ``<tag>value</tag>`` and return it."""
+        element = Element(tag)
+        for name, attr_value in attributes.items():
+            element.set_attribute(name, str(attr_value))
+        element.append(Text(str(value)))
+        self.current.append(element)
+        return element
+
+    def empty(self, tag: str, **attributes: str) -> Element:
+        """Append an empty element (attributes only) and return it."""
+        element = Element(tag)
+        for name, value in attributes.items():
+            element.set_attribute(name, str(value))
+        self.current.append(element)
+        return element
+
+    def attribute(self, name: str, value: object) -> None:
+        """Set an attribute on the current element."""
+        self.current.set_attribute(name, str(value))
+
+    def document(self) -> Document:
+        """Finish building and return the numbered document."""
+        if len(self._stack) != 1:
+            raise RuntimeError("unbalanced element() blocks")
+        return Document(self._root)

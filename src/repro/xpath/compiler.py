@@ -1,0 +1,201 @@
+"""Compilation of XPath queries to pattern trees for server evaluation.
+
+The server evaluates queries structurally, over DSI intervals, by twig
+pattern matching (§6.2 steps 1–3).  This module lowers a parsed
+:class:`~repro.xpath.ast.LocationPath` into a :class:`PatternTree`: a tree
+of :class:`PatternNode` objects connected by ``child`` / ``descendant`` /
+``attribute`` edges, with at most one value constraint per node and a single
+distinguished *output* node (the query answer node).
+
+Only the fragment the server can process compiles; queries using reverse or
+sibling axes, positional predicates, or absolute paths inside predicates
+raise :class:`UnsupportedQuery`, and the system falls back to the naive
+ship-everything protocol for them (§7.3's baseline) — the client still
+answers them correctly, just without server-side pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.xpath import ast
+
+
+class UnsupportedQuery(ValueError):
+    """Raised when a query cannot be evaluated as a server-side pattern."""
+
+
+@dataclass
+class PatternNode:
+    """One node of the twig pattern."""
+
+    #: element tag, ``@name`` for attributes, or ``*``
+    test: str
+    #: axis connecting this node to its pattern parent:
+    #: "child", "descendant" or "attribute" ("root-child"/"root-descendant"
+    #: for the edge from the virtual document node).
+    axis: str
+    children: list["PatternNode"] = field(default_factory=list)
+    #: (op, literal) when a comparison predicate constrains this node
+    value_constraint: Optional[tuple[str, str]] = None
+    is_output: bool = False
+
+    @property
+    def is_attribute(self) -> bool:
+        return self.test.startswith("@")
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.test in ("*", "@*")
+
+    def walk(self):
+        """Yield this node and all pattern descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __str__(self) -> str:
+        constraint = ""
+        if self.value_constraint:
+            op, literal = self.value_constraint
+            constraint = f"{op}{literal}"
+        marker = "*OUT*" if self.is_output else ""
+        return f"{self.axis}::{self.test}{constraint}{marker}"
+
+
+@dataclass
+class PatternTree:
+    """A compiled query: pattern roots plus the output node."""
+
+    roots: list[PatternNode]
+    output: PatternNode
+    #: the first named node on the main spine — the unit the server ships
+    spine_root: PatternNode
+
+    def nodes(self) -> list[PatternNode]:
+        out: list[PatternNode] = []
+        for root in self.roots:
+            out.extend(root.walk())
+        return out
+
+
+def compile_pattern(path: ast.LocationPath) -> PatternTree:
+    """Compile an absolute location path into a pattern tree."""
+    if not path.absolute:
+        raise UnsupportedQuery(
+            "only absolute queries compile to server patterns"
+        )
+    spine, output = _compile_steps(path.steps, at_root=True)
+    if spine is None or output is None:
+        raise UnsupportedQuery("query has no named steps")
+    output.is_output = True
+    return PatternTree(roots=[spine], output=output, spine_root=spine)
+
+
+def _compile_steps(
+    steps: tuple[ast.Step, ...], at_root: bool
+) -> tuple[Optional[PatternNode], Optional[PatternNode]]:
+    """Compile a step chain; returns (first pattern node, last pattern node).
+
+    ``at_root`` marks the chain as starting at the virtual document node,
+    which prefixes the first edge's axis with ``root-``.
+    """
+    first: Optional[PatternNode] = None
+    last: Optional[PatternNode] = None
+    pending_descendant = False
+
+    for step in steps:
+        if (
+            step.axis == ast.AXIS_DESCENDANT_OR_SELF
+            and step.test.is_wildcard
+            and not step.predicates
+        ):
+            pending_descendant = True
+            continue
+        if step.axis == ast.AXIS_SELF and step.test.is_wildcard and not step.predicates:
+            continue  # '.' is a no-op in a forward chain
+        if step.axis == ast.AXIS_CHILD:
+            axis = "descendant" if pending_descendant else "child"
+            test = step.test.name
+        elif step.axis == ast.AXIS_DESCENDANT:
+            axis = "descendant"
+            test = step.test.name
+        elif step.axis == ast.AXIS_ATTRIBUTE:
+            # '//@x' keeps descendant reach; '/@x' is a direct attribute.
+            axis = "attribute-descendant" if pending_descendant else "attribute"
+            test = f"@{step.test.name}"
+        elif step.axis == ast.AXIS_DESCENDANT_OR_SELF:
+            axis = "descendant"
+            test = step.test.name
+        else:
+            raise UnsupportedQuery(
+                f"axis {step.axis!r} is not server-evaluable"
+            )
+        pending_descendant = False
+
+        node = PatternNode(test=test, axis=axis)
+        if first is None:
+            if at_root:
+                if node.axis in ("attribute", "attribute-descendant"):
+                    raise UnsupportedQuery("attribute step cannot be first")
+                node.axis = f"root-{node.axis}"
+            first = node
+        else:
+            assert last is not None
+            last.children.append(node)
+        _attach_predicates(node, step.predicates)
+        last = node
+
+    if pending_descendant:
+        raise UnsupportedQuery("query cannot end with '//'")
+    return first, last
+
+
+def _attach_predicates(
+    node: PatternNode, predicates: tuple[ast.Predicate, ...]
+) -> None:
+    for predicate in predicates:
+        expr = predicate.expr
+        if isinstance(expr, ast.Position):
+            raise UnsupportedQuery("positional predicates are client-only")
+        if isinstance(expr, ast.Exists):
+            branch = _compile_branch(expr.path)
+            node.children.append(branch)
+        elif isinstance(expr, ast.Comparison):
+            if _is_self_path(expr.path):
+                _set_constraint(node, expr)
+            else:
+                branch = _compile_branch(expr.path)
+                leaf = branch
+                while leaf.children:
+                    leaf = leaf.children[-1]
+                _set_constraint(leaf, expr)
+                node.children.append(branch)
+        else:  # pragma: no cover - parser produces only the above
+            raise UnsupportedQuery(f"unsupported predicate {expr!r}")
+
+
+def _compile_branch(path: ast.LocationPath) -> PatternNode:
+    if path.absolute:
+        raise UnsupportedQuery("absolute paths inside predicates")
+    branch, _ = _compile_steps(path.steps, at_root=False)
+    if branch is None:
+        raise UnsupportedQuery("empty predicate path")
+    return branch
+
+
+def _set_constraint(node: PatternNode, expr: ast.Comparison) -> None:
+    if node.value_constraint is not None:
+        raise UnsupportedQuery("multiple value constraints on one node")
+    node.value_constraint = (expr.op, expr.literal)
+
+
+def _is_self_path(path: ast.LocationPath) -> bool:
+    return (
+        not path.absolute
+        and len(path.steps) == 1
+        and path.steps[0].axis == ast.AXIS_SELF
+        and path.steps[0].test.is_wildcard
+        and not path.steps[0].predicates
+    )

@@ -1,0 +1,160 @@
+"""Tokenizer for the XPath fragment.
+
+Produces a flat list of :class:`Token` objects consumed by the
+recursive-descent parser.  Token kinds are deliberately coarse — the grammar
+is small enough that the parser disambiguates on ``value`` where needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class XPathSyntaxError(ValueError):
+    """Raised on malformed XPath input."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+#: Token kinds.
+SLASH = "SLASH"              # /
+DOUBLE_SLASH = "DSLASH"      # //
+NAME = "NAME"                # element or axis name
+STAR = "STAR"                # *
+AT = "AT"                    # @
+DOT = "DOT"                  # .
+DOTDOT = "DOTDOT"            # ..
+LBRACKET = "LBRACKET"        # [
+RBRACKET = "RBRACKET"        # ]
+AXIS_SEP = "AXIS"            # ::
+OPERATOR = "OP"              # = != < <= > >=
+STRING = "STRING"            # 'x' or "x"
+NUMBER = "NUMBER"            # 123 or 12.5
+COMMA = "COMMA"              # , (used by the SC parser)
+LPAREN = "LPAREN"            # (
+RPAREN = "RPAREN"            # )
+COLON = "COLON"              # : (used by the SC parser)
+END = "END"
+
+# '#' is included because the paper's running example uses tags like
+# "policy#" (Figure 2).
+_NAME_EXTRA = set("_.-#")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source offset."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; always ends with an END token."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        char = text[pos]
+        if char.isspace():
+            pos += 1
+            continue
+        if text.startswith("//", pos):
+            tokens.append(Token(DOUBLE_SLASH, "//", pos))
+            pos += 2
+        elif char == "/":
+            tokens.append(Token(SLASH, "/", pos))
+            pos += 1
+        elif text.startswith("::", pos):
+            tokens.append(Token(AXIS_SEP, "::", pos))
+            pos += 2
+        elif char == ":":
+            tokens.append(Token(COLON, ":", pos))
+            pos += 1
+        elif char == "*":
+            tokens.append(Token(STAR, "*", pos))
+            pos += 1
+        elif char == "@":
+            tokens.append(Token(AT, "@", pos))
+            pos += 1
+        elif text.startswith("..", pos):
+            tokens.append(Token(DOTDOT, "..", pos))
+            pos += 2
+        elif char == "." and not (pos + 1 < length and text[pos + 1].isdigit()):
+            tokens.append(Token(DOT, ".", pos))
+            pos += 1
+        elif char == "[":
+            tokens.append(Token(LBRACKET, "[", pos))
+            pos += 1
+        elif char == "]":
+            tokens.append(Token(RBRACKET, "]", pos))
+            pos += 1
+        elif char == "(":
+            tokens.append(Token(LPAREN, "(", pos))
+            pos += 1
+        elif char == ")":
+            tokens.append(Token(RPAREN, ")", pos))
+            pos += 1
+        elif char == ",":
+            tokens.append(Token(COMMA, ",", pos))
+            pos += 1
+        elif text.startswith("!=", pos):
+            tokens.append(Token(OPERATOR, "!=", pos))
+            pos += 2
+        elif text.startswith("<=", pos):
+            tokens.append(Token(OPERATOR, "<=", pos))
+            pos += 2
+        elif text.startswith(">=", pos):
+            tokens.append(Token(OPERATOR, ">=", pos))
+            pos += 2
+        elif char in "=<>":
+            tokens.append(Token(OPERATOR, char, pos))
+            pos += 1
+        elif char in ("'", '"'):
+            end = text.find(char, pos + 1)
+            if end < 0:
+                raise XPathSyntaxError("unterminated string literal", pos)
+            tokens.append(Token(STRING, text[pos + 1 : end], pos))
+            pos = end + 1
+        elif (
+            char.isdigit()
+            or (char == "." and pos + 1 < length)
+            or (
+                char == "-"
+                and pos + 1 < length
+                and text[pos + 1].isdigit()
+            )
+        ):
+            # A leading '-' starts a negative literal; inside names '-' is
+            # consumed by the NAME rule, so this position is unambiguous.
+            start = pos
+            pos += 1
+            seen_dot = char == "."
+            while pos < length and (
+                text[pos].isdigit() or (text[pos] == "." and not seen_dot)
+            ):
+                if text[pos] == ".":
+                    seen_dot = True
+                pos += 1
+            tokens.append(Token(NUMBER, text[start:pos], pos))
+        elif char.isalpha() or char == "_":
+            start = pos
+            pos += 1
+            while pos < length and (
+                text[pos].isalnum() or text[pos] in _NAME_EXTRA
+            ):
+                # A '.' only continues a name if followed by a name char
+                # (guards against "a.b" vs trailing periods in prose).
+                if text[pos] == "." and not (
+                    pos + 1 < length and (text[pos + 1].isalnum() or text[pos + 1] == "_")
+                ):
+                    break
+                pos += 1
+            tokens.append(Token(NAME, text[start:pos], start))
+        else:
+            raise XPathSyntaxError(f"unexpected character {char!r}", pos)
+    tokens.append(Token(END, "", length))
+    return tokens

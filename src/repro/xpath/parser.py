@@ -1,0 +1,189 @@
+"""Recursive-descent parser for the XPath fragment.
+
+Grammar (abbreviations desugared the XPath 1.0 way)::
+
+    path       := '/'? step ('/' step | '//' step)*
+                | '//' step ('/' step | '//' step)*
+    step       := '.' | '..'
+                | axis? nodetest predicate*
+    axis       := NAME '::' | '@'
+    nodetest   := NAME | '*'
+    predicate  := '[' predexpr ']'
+    predexpr   := NUMBER                       (position)
+                | relpath (OP literal)?        (existence / comparison)
+    literal    := STRING | NUMBER
+
+``//`` is desugared to ``/descendant-or-self::*/``, ``.`` to ``self::*`` and
+``..`` to ``parent::*``, so the evaluator only ever sees explicit axes.
+"""
+
+from __future__ import annotations
+
+from repro.xpath import ast
+from repro.xpath.lexer import (
+    AT,
+    AXIS_SEP,
+    DOT,
+    DOTDOT,
+    DOUBLE_SLASH,
+    END,
+    LBRACKET,
+    NAME,
+    NUMBER,
+    OPERATOR,
+    RBRACKET,
+    SLASH,
+    STAR,
+    STRING,
+    Token,
+    XPathSyntaxError,
+    tokenize,
+)
+
+
+def parse_xpath(text: str) -> ast.LocationPath:
+    """Parse an XPath expression string into a :class:`LocationPath`."""
+    parser = _Parser(tokenize(text))
+    path = parser.parse_path()
+    parser.expect(END)
+    return path
+
+
+class _Parser:
+    """Token-stream cursor shared with the security-constraint parser."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # Cursor helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def accept(self, kind: str) -> Token | None:
+        if self.current.kind == kind:
+            return self.advance()
+        return None
+
+    def expect(self, kind: str) -> Token:
+        if self.current.kind != kind:
+            raise XPathSyntaxError(
+                f"expected {kind}, found {self.current.kind} "
+                f"({self.current.value!r})",
+                self.current.position,
+            )
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # Productions
+    # ------------------------------------------------------------------
+    def parse_path(self) -> ast.LocationPath:
+        steps: list[ast.Step] = []
+        absolute = False
+
+        if self.accept(DOUBLE_SLASH):
+            absolute = True
+            steps.append(_descendant_or_self_star())
+        elif self.accept(SLASH):
+            absolute = True
+
+        steps.append(self.parse_step())
+        while True:
+            if self.accept(DOUBLE_SLASH):
+                steps.append(_descendant_or_self_star())
+                steps.append(self.parse_step())
+            elif self.accept(SLASH):
+                steps.append(self.parse_step())
+            else:
+                break
+        return ast.LocationPath(absolute, tuple(steps))
+
+    def parse_step(self) -> ast.Step:
+        if self.accept(DOT):
+            base = ast.Step(ast.AXIS_SELF, ast.NodeTest("*"))
+        elif self.accept(DOTDOT):
+            base = ast.Step(ast.AXIS_PARENT, ast.NodeTest("*"))
+        elif self.accept(AT):
+            test = self._parse_nodetest()
+            base = ast.Step(ast.AXIS_ATTRIBUTE, test)
+        else:
+            # Either "axis::test" or a bare child-axis nodetest.
+            if self.current.kind == NAME and self.tokens[self.index + 1].kind == AXIS_SEP:
+                axis_name = self.advance().value
+                self.expect(AXIS_SEP)
+                if axis_name == "attribute":
+                    axis = ast.AXIS_ATTRIBUTE
+                elif axis_name in ast.ALL_AXES:
+                    axis = axis_name
+                else:
+                    raise XPathSyntaxError(
+                        f"unsupported axis {axis_name!r}", self.current.position
+                    )
+                test = self._parse_nodetest(allow_at=True)
+                base = ast.Step(axis, test)
+            else:
+                test = self._parse_nodetest()
+                base = ast.Step(ast.AXIS_CHILD, test)
+
+        predicates: list[ast.Predicate] = []
+        while self.accept(LBRACKET):
+            predicates.append(ast.Predicate(self._parse_predicate_expr()))
+            self.expect(RBRACKET)
+        if predicates:
+            return base.with_predicates(tuple(predicates))
+        return base
+
+    def _parse_nodetest(self, allow_at: bool = False) -> ast.NodeTest:
+        if allow_at and self.accept(AT):
+            # "attribute::@x" is redundant but harmless; treat as @x.
+            pass
+        if self.accept(STAR):
+            return ast.NodeTest("*")
+        token = self.expect(NAME)
+        return ast.NodeTest(token.value)
+
+    def _parse_predicate_expr(self) -> ast.PredicateExpr:
+        if self.current.kind == NUMBER:
+            token = self.advance()
+            if self.current.kind == RBRACKET:
+                value = float(token.value)
+                if value != int(value) or value < 1:
+                    raise XPathSyntaxError(
+                        "positional predicate must be a positive integer",
+                        token.position,
+                    )
+                return ast.Position(int(value))
+            raise XPathSyntaxError(
+                "a number can only appear alone in a predicate",
+                token.position,
+            )
+
+        path = self.parse_path()
+        operator = self.accept(OPERATOR)
+        if operator is None:
+            return ast.Exists(path)
+        literal_token = self.current
+        if literal_token.kind in (STRING, NUMBER):
+            self.advance()
+            return ast.Comparison(path, operator.value, literal_token.value)
+        if literal_token.kind == NAME:
+            # Bare-word literal (the paper writes [pname=Betty]); accept it
+            # as a string for fidelity with the paper's notation.
+            self.advance()
+            return ast.Comparison(path, operator.value, literal_token.value)
+        raise XPathSyntaxError(
+            "expected literal after comparison operator",
+            literal_token.position,
+        )
+
+
+def _descendant_or_self_star() -> ast.Step:
+    return ast.Step(ast.AXIS_DESCENDANT_OR_SELF, ast.NodeTest("*"))

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.healthcare import (
+    build_healthcare_database,
+    healthcare_constraints,
+)
+from repro.workloads.nasa import build_nasa_database, nasa_constraints
+from repro.workloads.xmark import build_xmark_database, xmark_constraints
+
+
+@pytest.fixture
+def healthcare_doc():
+    """The Figure 2 database (fresh instance per test)."""
+    return build_healthcare_database()
+
+
+@pytest.fixture
+def healthcare_scs():
+    """The Example 3.1 constraint set."""
+    return healthcare_constraints()
+
+
+@pytest.fixture(scope="session")
+def xmark_doc():
+    """A small XMark-like document shared across a session."""
+    return build_xmark_database(person_count=30, seed=11)
+
+
+@pytest.fixture(scope="session")
+def xmark_scs():
+    return xmark_constraints()
+
+
+@pytest.fixture(scope="session")
+def nasa_doc():
+    """A small NASA-like document shared across a session."""
+    return build_nasa_database(dataset_count=25, seed=13)
+
+
+@pytest.fixture(scope="session")
+def nasa_scs():
+    return nasa_constraints()

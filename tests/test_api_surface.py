@@ -1,0 +1,129 @@
+"""Small API-surface tests for corners not covered elsewhere."""
+
+import pytest
+
+from repro.xmldb.node import Attribute, Element
+from repro.xmldb.serializer import serialize
+
+
+class TestLazyPackageExports:
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.SecurityConstraint.parse("//a")
+        assert repro.EncryptionScheme
+        assert repro.SecureXMLSystem
+
+    def test_unknown_attribute(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.nonexistent  # noqa: B018
+
+
+class TestSerializerDebugForms:
+    def test_bare_attribute_debug_form(self):
+        attribute = Attribute("k", "v")
+        assert serialize(attribute) == "@k='v'"
+
+    def test_indented_nested_blocks(self):
+        from repro.xmldb.node import EncryptedBlockNode
+
+        root = Element("a")
+        root.append(EncryptedBlockNode(1, b"\x00"))
+        pretty = serialize(root, indent=True)
+        assert "EncryptedData" in pretty
+        assert pretty.count("\n") >= 2
+
+
+class TestKeyringAuxiliary:
+    def test_field_prf_per_field(self):
+        from repro.crypto.keyring import ClientKeyring
+
+        keyring = ClientKeyring(b"k" * 16)
+        assert keyring.field_prf("a")(b"m") != keyring.field_prf("b")(b"m")
+        assert keyring.field_prf("a")(b"m") == keyring.field_prf("a")(b"m")
+
+
+class TestAggregateModuleCorners:
+    def test_combine_without_plan_rejected(self):
+        from repro.core.aggregates import ServerAggregate, combine_min_max
+        from repro.crypto.ope import OrderPreservingEncryption
+
+        reply = ServerAggregate(ciphertext=5, plaintext=None, scanned_entries=1)
+        with pytest.raises(ValueError):
+            combine_min_max(
+                reply, None, OrderPreservingEncryption(b"k" * 16), "min"
+            )
+
+    def test_combine_empty_reply(self):
+        from repro.core.aggregates import ServerAggregate, combine_min_max
+        from repro.crypto.ope import OrderPreservingEncryption
+
+        reply = ServerAggregate(
+            ciphertext=None, plaintext=None, scanned_entries=0
+        )
+        assert combine_min_max(
+            reply, None, OrderPreservingEncryption(b"k" * 16), "max"
+        ) is None
+
+    def test_server_min_max_rejects_count(self, healthcare_doc, healthcare_scs):
+        from repro.core.aggregates import server_min_max
+        from repro.core.system import SecureXMLSystem
+
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="opt"
+        )
+        translated = system.client.translate("//SSN")
+        with pytest.raises(ValueError):
+            server_min_max(
+                translated,
+                system.hosted.structural_index,
+                system.hosted.value_index,
+                "count",
+            )
+
+
+class TestStatsAuxiliary:
+    def test_iter_value_leaves(self, healthcare_doc):
+        from repro.xmldb.stats import iter_value_leaves
+
+        leaves = list(iter_value_leaves(healthcare_doc))
+        assert len(leaves) == len(list(healthcare_doc.leaves()))
+
+
+class TestNegativeLiterals:
+    def test_lexer_negative_number(self):
+        from repro.xpath.lexer import tokenize
+
+        tokens = tokenize("[x>-5.5]")
+        numbers = [t.value for t in tokens if t.kind == "NUMBER"]
+        assert numbers == ["-5.5"]
+
+    def test_hyphenated_names_still_work(self):
+        from repro.xpath.parser import parse_xpath
+
+        path = parse_xpath("//foo-bar")
+        assert path.steps[-1].test.name == "foo-bar"
+
+    def test_negative_comparison_evaluates(self):
+        from repro.xmldb.parser import parse_document
+        from repro.xpath.evaluator import evaluate
+
+        doc = parse_document("<r><t>-3</t><t>2</t></r>")
+        assert [n.text_value() for n in evaluate(doc, "//t[.>-4]")] == [
+            "-3",
+            "2",
+        ]
+
+
+class TestSchemeSizeAccounting:
+    def test_size_counts_decoys(self, healthcare_doc, healthcare_scs):
+        from repro.core.scheme import build_scheme
+
+        scheme = build_scheme(healthcare_doc, healthcare_scs, "opt")
+        plain_nodes = sum(
+            root.subtree_size()
+            for root in scheme.block_roots(healthcare_doc)
+        )
+        assert scheme.size(healthcare_doc) > plain_nodes  # decoys included

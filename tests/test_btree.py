@@ -1,0 +1,152 @@
+"""Unit and property tests for the B-tree value-index substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree import BTree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BTree()
+        assert len(tree) == 0
+        assert tree.search(1) == []
+        assert 1 not in tree
+        assert list(tree.items()) == []
+
+    def test_insert_and_search(self):
+        tree = BTree(min_degree=2)
+        tree.insert(5, "a")
+        tree.insert(3, "b")
+        tree.insert(7, "c")
+        assert tree.search(3) == ["b"]
+        assert 5 in tree
+        assert tree.search(4) == []
+
+    def test_duplicates_accumulate(self):
+        tree = BTree(min_degree=2)
+        for index in range(4):
+            tree.insert(9, f"p{index}")
+        assert tree.search(9) == ["p0", "p1", "p2", "p3"]
+        assert len(tree) == 4
+        assert tree.distinct_keys == 1
+
+    def test_min_degree_validated(self):
+        with pytest.raises(ValueError):
+            BTree(min_degree=1)
+
+    def test_min_max(self):
+        tree = BTree(min_degree=2)
+        for key in (9, 2, 14, 7):
+            tree.insert(key, None)
+        assert tree.min_key() == 2
+        assert tree.max_key() == 14
+
+    def test_min_max_empty_rejected(self):
+        with pytest.raises(KeyError):
+            BTree().min_key()
+        with pytest.raises(KeyError):
+            BTree().max_key()
+
+    def test_splits_maintain_height_balance(self):
+        tree = BTree(min_degree=2)
+        for key in range(100):
+            tree.insert(key, key)
+        tree.check_invariants()
+        assert tree.height() >= 3  # forced splits happened
+
+    def test_node_count_grows(self):
+        tree = BTree(min_degree=2)
+        for key in range(50):
+            tree.insert(key, key)
+        assert tree.node_count() > 1
+
+
+class TestRangeScan:
+    @pytest.fixture
+    def tree(self):
+        tree = BTree(min_degree=3)
+        for key in range(0, 100, 2):  # even keys only
+            tree.insert(key, f"v{key}")
+        return tree
+
+    def test_inclusive_bounds(self, tree):
+        keys = [k for k, _ in tree.range_scan(10, 20)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_open_low(self, tree):
+        keys = [k for k, _ in tree.range_scan(None, 6)]
+        assert keys == [0, 2, 4, 6]
+
+    def test_open_high(self, tree):
+        keys = [k for k, _ in tree.range_scan(94, None)]
+        assert keys == [94, 96, 98]
+
+    def test_full_scan_sorted(self, tree):
+        keys = [k for k, _ in tree.range_scan()]
+        assert keys == sorted(keys) == list(range(0, 100, 2))
+
+    def test_empty_range(self, tree):
+        assert list(tree.range_scan(11, 11)) == []
+        assert list(tree.range_scan(200, 300)) == []
+
+    def test_duplicates_in_range(self):
+        tree = BTree(min_degree=2)
+        tree.insert(5, "x")
+        tree.insert(5, "y")
+        assert list(tree.range_scan(5, 5)) == [(5, "x"), (5, "y")]
+
+    def test_keys_iterator_distinct(self, tree):
+        tree.insert(10, "dup")
+        assert list(tree.keys()) == list(range(0, 100, 2))
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(-1000, 1000), st.integers(0, 5)),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_model(self, entries):
+        """B-tree behaves exactly like a sorted multimap."""
+        tree = BTree(min_degree=2)
+        reference: dict[int, list[int]] = {}
+        for key, payload in entries:
+            tree.insert(key, payload)
+            reference.setdefault(key, []).append(payload)
+
+        tree.check_invariants()
+        assert len(tree) == sum(len(v) for v in reference.values())
+        assert tree.distinct_keys == len(reference)
+        expected = [
+            (key, payload)
+            for key in sorted(reference)
+            for payload in reference[key]
+        ]
+        assert list(tree.items()) == expected
+
+    @given(
+        st.lists(st.integers(0, 200), min_size=1, max_size=200),
+        st.integers(0, 200),
+        st.integers(0, 200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_scan_matches_filter(self, keys, low, high):
+        low, high = min(low, high), max(low, high)
+        tree = BTree(min_degree=3)
+        for key in keys:
+            tree.insert(key, key)
+        got = [k for k, _ in tree.range_scan(low, high)]
+        expected = sorted(k for k in keys if low <= k <= high)
+        assert got == expected
+
+    @given(st.integers(2, 6), st.lists(st.integers(0, 10_000), max_size=500))
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_for_any_degree(self, degree, keys):
+        tree = BTree(min_degree=degree)
+        for key in keys:
+            tree.insert(key, None)
+        tree.check_invariants()

@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, build_workload, main
+
+
+class TestBuildWorkload:
+    def test_healthcare(self):
+        document, constraints = build_workload("healthcare", 10, 1)
+        assert document.root.tag == "hospital"
+        assert len(constraints) == 4
+
+    def test_xmark_scales(self):
+        small, _ = build_workload("xmark", 5, 1)
+        large, _ = build_workload("xmark", 20, 1)
+        assert large.size() > small.size()
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("mystery", 10, 1)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_requires_xpath(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["host"])
+        assert args.workload == "healthcare"
+        assert args.scheme == "opt"
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "763895" in output and "276543" in output
+        assert "t_decrypt" in output
+
+    def test_host(self, capsys):
+        assert main(["host", "--workload", "healthcare"]) == 0
+        output = capsys.readouterr().out
+        assert "blocks" in output and "hosted bytes" in output
+
+    def test_query(self, capsys):
+        assert main(
+            ["query", "--workload", "healthcare",
+             "//treat[disease='leukemia']/doctor"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "<doctor>Brown</doctor>" in output
+
+    def test_query_on_generated_workload(self, capsys):
+        assert main(
+            ["query", "--workload", "nasa", "--size", "5", "//publisher"]
+        ) == 0
+        assert "answers" in capsys.readouterr().out
+
+    def test_attack(self, capsys):
+        assert main(
+            ["attack", "--workload", "healthcare"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "strawman cracked" in output
+        assert "OPESS cracked 0" in output
+
+    def test_schemes(self, capsys):
+        assert main(
+            ["schemes", "--workload", "xmark", "--size", "10"]
+        ) == 0
+        output = capsys.readouterr().out
+        for kind in ("top", "sub", "app", "opt"):
+            assert kind in output
+
+    def test_save_and_load_roundtrip(self, capsys, tmp_path):
+        directory = str(tmp_path / "hosting")
+        assert main(
+            ["host", "--workload", "healthcare", "--save", directory]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["query", "--load", directory,
+             "//treat[disease='leukemia']/doctor"]
+        ) == 0
+        assert "<doctor>Brown</doctor>" in capsys.readouterr().out
+
+    def test_save_and_load_with_passphrase(self, capsys, tmp_path):
+        directory = str(tmp_path / "hosting")
+        assert main(
+            ["host", "--workload", "healthcare", "--key", "s3cret",
+             "--save", directory]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["query", "--load", directory, "--key", "s3cret", "//SSN"]
+        ) == 0
+        assert "763895" in capsys.readouterr().out
+
+    def test_load_with_wrong_passphrase_sees_nothing(self, capsys, tmp_path):
+        directory = str(tmp_path / "hosting")
+        main(["host", "--workload", "healthcare", "--key", "right",
+              "--save", directory])
+        capsys.readouterr()
+        assert main(
+            ["query", "--load", directory, "--key", "wrong", "//SSN"]
+        ) == 0
+        assert "answers (0)" in capsys.readouterr().out

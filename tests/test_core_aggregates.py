@@ -1,0 +1,158 @@
+"""Tests for aggregate evaluation (§6.4): exact mode and server MIN/MAX."""
+
+import pytest
+
+from repro.core.aggregates import fold_exact
+from repro.core.system import SecureXMLSystem
+from repro.xpath.evaluator import evaluate
+
+
+class TestFoldExact:
+    def test_count(self):
+        assert fold_exact(["a", "b", "b"], "count") == 3
+        assert fold_exact([], "count") == 0
+
+    def test_min_max_numeric(self):
+        values = ["30", "4", "100"]
+        assert fold_exact(values, "min") == "4"      # numeric, not lexicographic
+        assert fold_exact(values, "max") == "100"
+
+    def test_min_max_strings(self):
+        values = ["pear", "apple"]
+        assert fold_exact(values, "min") == "apple"
+        assert fold_exact(values, "max") == "pear"
+
+    def test_sum_avg(self):
+        assert fold_exact(["1", "2", "3"], "sum") == 6.0
+        assert fold_exact(["1", "2", "3"], "avg") == 2.0
+
+    def test_empty_min_is_none(self):
+        assert fold_exact([], "min") is None
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError):
+            fold_exact(["1"], "median")
+
+
+@pytest.fixture
+def system(healthcare_doc, healthcare_scs):
+    return SecureXMLSystem.host(healthcare_doc, healthcare_scs, scheme="opt")
+
+
+class TestExactMode:
+    def test_count_matches_oracle(self, system, healthcare_doc):
+        expected = len(evaluate(healthcare_doc, "//policy#"))
+        assert system.aggregate("//policy#", "count") == expected
+
+    def test_min_max_on_plaintext_field(self, system):
+        assert system.aggregate("//patient/age", "min") == "35"
+        assert system.aggregate("//patient/age", "max") == "40"
+
+    def test_avg(self, system):
+        assert system.aggregate("//patient/age", "avg") == 37.5
+
+    def test_with_predicate(self, system):
+        assert system.aggregate("//patient[pname='Matt']/age", "min") == "40"
+
+    def test_empty_selection(self, system):
+        assert system.aggregate("//nothing", "min") is None
+        assert system.aggregate("//nothing", "count") == 0
+
+
+class TestServerMode:
+    def test_min_max_on_encrypted_field(self, system, healthcare_doc):
+        """No-decryption MIN/MAX matches the exact pipeline."""
+        covered = next(
+            f for f in sorted(system.hosted.field_plans)
+            if not f.startswith("@")
+        )
+        query = f"//{covered}"
+        for func in ("min", "max"):
+            exact = system.aggregate(query, func, mode="exact")
+            server = system.aggregate(query, func, mode="server")
+            assert server == exact, (func, covered)
+
+    def test_min_max_on_plaintext_field_server_mode(self, system):
+        assert system.aggregate("//patient/age", "min", mode="server") == "35"
+        assert system.aggregate("//patient/age", "max", mode="server") == "40"
+
+    def test_structural_restriction(self, system, healthcare_doc):
+        # Only Betty's SSN qualifies structurally; under opt granularity
+        # the server-side fold is exact.
+        query = "//patient[age<36]//SSN"
+        exact = system.aggregate(query, "max", mode="exact")
+        server = system.aggregate(query, "max", mode="server")
+        assert server == exact == "763895"
+
+    def test_count_rejected_server_side(self, system):
+        """The paper: COUNT cannot be evaluated without decryption."""
+        with pytest.raises(ValueError):
+            system.aggregate("//SSN", "count", mode="server")
+
+    def test_unknown_mode_rejected(self, system):
+        with pytest.raises(ValueError):
+            system.aggregate("//SSN", "min", mode="magic")
+
+    def test_empty_selection_server_mode(self, system):
+        assert system.aggregate("//nothing", "min", mode="server") is None
+
+    @pytest.mark.parametrize("kind", ["opt", "app"])
+    def test_nasa_server_aggregates_match_exact(self, kind, nasa_doc, nasa_scs):
+        system = SecureXMLSystem.host(nasa_doc, nasa_scs, scheme=kind)
+        covered = [
+            f for f in sorted(system.hosted.field_plans)
+            if not f.startswith("@")
+        ]
+        for field in covered[:2]:
+            for func in ("min", "max"):
+                exact = system.aggregate(f"//{field}", func, mode="exact")
+                server = system.aggregate(f"//{field}", func, mode="server")
+                assert server == exact, (kind, field, func)
+
+
+class TestStrawmanHosting:
+    """The §4.1 insecure mode: works functionally, fails the attack test."""
+
+    def test_leaf_scheme_secure_hosting_exact(self, healthcare_doc, healthcare_scs):
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="leaf"
+        )
+        answer = system.query("//patient[pname='Betty']//disease")
+        assert sorted(answer.values()) == ["diarrhea", "diarrhea"]
+
+    def test_insecure_hosting_still_answers_exactly(
+        self, healthcare_doc, healthcare_scs
+    ):
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="leaf", secure=False
+        )
+        answer = system.query("//treat[disease='leukemia']/doctor")
+        assert answer.values() == ["Brown"]
+
+    def test_insecure_hosting_has_no_decoys(self, healthcare_doc, healthcare_scs):
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="leaf", secure=False
+        )
+        assert system.hosted.decoy_count == 0
+        assert not system.hosted.secure
+
+    def test_insecure_equal_leaves_collide(self, healthcare_doc, healthcare_scs):
+        """Deterministic encryption: the two diarrhea blocks are identical."""
+        from repro.security.attacks import ciphertext_block_histogram
+
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="leaf", secure=False
+        )
+        token = system.hosted.field_tokens["disease"]
+        histogram = ciphertext_block_histogram(system.hosted, token)
+        assert sorted(histogram.values()) == [1, 2]  # plaintext profile leaks
+
+    def test_secure_leaf_blocks_all_distinct(self, healthcare_doc, healthcare_scs):
+        from repro.security.attacks import ciphertext_block_histogram
+
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="leaf", secure=True
+        )
+        token = system.hosted.field_tokens["disease"]
+        histogram = ciphertext_block_histogram(system.hosted, token)
+        assert set(histogram.values()) == {1}

@@ -1,0 +1,77 @@
+"""Granularity semantics of server-side MIN/MAX (the documented caveat).
+
+At coarse block granularity the server's fold can see occurrences that
+share a matched block with the real matches.  That makes the server result
+a fold over a *superset*: for MIN it can only be ≤ the exact answer, for
+MAX only ≥ — never silently wrong in the unsafe direction.  These tests
+pin down that bounded-error contract on every scheme.
+"""
+
+import pytest
+
+from repro.core.system import SecureXMLSystem
+
+
+def _as_number(value):
+    try:
+        return (0, float(value))
+    except (TypeError, ValueError):
+        return (1, value)
+
+
+@pytest.mark.parametrize("kind", ["opt", "app", "sub", "top"])
+class TestSupersetBounds:
+    def test_min_is_lower_bound(self, kind, nasa_doc, nasa_scs):
+        system = SecureXMLSystem.host(nasa_doc, nasa_scs, scheme=kind)
+        covered = [
+            f for f in sorted(system.hosted.field_plans)
+            if not f.startswith("@")
+        ]
+        for field in covered[:2]:
+            query = f"//{field}"
+            exact = system.aggregate(query, "min", mode="exact")
+            server = system.aggregate(query, "min", mode="server")
+            if exact is None:
+                continue
+            assert server is not None
+            assert _as_number(server) <= _as_number(exact), (kind, field)
+
+    def test_max_is_upper_bound(self, kind, nasa_doc, nasa_scs):
+        system = SecureXMLSystem.host(nasa_doc, nasa_scs, scheme=kind)
+        covered = [
+            f for f in sorted(system.hosted.field_plans)
+            if not f.startswith("@")
+        ]
+        for field in covered[:2]:
+            query = f"//{field}"
+            exact = system.aggregate(query, "max", mode="exact")
+            server = system.aggregate(query, "max", mode="server")
+            if exact is None:
+                continue
+            assert server is not None
+            assert _as_number(server) >= _as_number(exact), (kind, field)
+
+    def test_unrestricted_query_always_exact(self, kind, nasa_doc, nasa_scs):
+        """With no structural restriction the superset IS the match set."""
+        system = SecureXMLSystem.host(nasa_doc, nasa_scs, scheme=kind)
+        covered = [
+            f for f in sorted(system.hosted.field_plans)
+            if not f.startswith("@")
+        ]
+        for field in covered[:1]:
+            for func in ("min", "max"):
+                exact = system.aggregate(f"//{field}", func, mode="exact")
+                server = system.aggregate(f"//{field}", func, mode="server")
+                assert server == exact, (kind, field, func)
+
+
+class TestPerNodeGranularityExactness:
+    def test_opt_restricted_queries_exact(self, nasa_doc, nasa_scs):
+        """Per-node blocks (opt) make even restricted folds exact."""
+        system = SecureXMLSystem.host(nasa_doc, nasa_scs, scheme="opt")
+        query = "//author[age>40]/last"
+        if "last" not in system.hosted.field_plans:
+            pytest.skip("cover changed")
+        exact = system.aggregate(query, "min", mode="exact")
+        server = system.aggregate(query, "min", mode="server")
+        assert server == exact

@@ -1,0 +1,106 @@
+"""Unit tests for security constraints (§3.2)."""
+
+import pytest
+
+from repro.core.constraints import SecurityConstraint, parse_constraints
+from repro.xpath.lexer import XPathSyntaxError
+
+
+class TestParsing:
+    def test_node_type(self):
+        constraint = SecurityConstraint.parse("//insurance")
+        assert not constraint.is_association
+        assert str(constraint.context_path) == "//insurance"
+
+    def test_association_type(self):
+        constraint = SecurityConstraint.parse("//patient:(/pname, /SSN)")
+        assert constraint.is_association
+        assert str(constraint.q1) == "pname"  # normalized to relative
+        assert str(constraint.q2) == "SSN"
+
+    def test_descendant_endpoint(self):
+        constraint = SecurityConstraint.parse("//patient:(/pname, //disease)")
+        assert constraint.endpoint_field(2) == "disease"
+
+    def test_attribute_endpoint(self):
+        constraint = SecurityConstraint.parse(
+            "//insurance:(/policy#, /@coverage)"
+        )
+        assert constraint.endpoint_field(2) == "@coverage"
+
+    def test_malformed_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            SecurityConstraint.parse("//patient:(/pname")
+        with pytest.raises(XPathSyntaxError):
+            SecurityConstraint.parse("//patient:(/a, /b, /c)")
+
+    def test_parse_constraints_skips_comments(self):
+        constraints = parse_constraints(
+            ["# comment", "", "//insurance", "//treat:(/disease, /doctor)"]
+        )
+        assert len(constraints) == 2
+
+    def test_str_representation(self):
+        constraint = SecurityConstraint.parse("//treat:(/disease, /doctor)")
+        assert str(constraint) == "//treat:(disease, doctor)"
+
+
+class TestBindings:
+    def test_context_nodes(self, healthcare_doc, healthcare_scs):
+        insurance_sc = healthcare_scs[0]
+        nodes = insurance_sc.context_nodes(healthcare_doc)
+        assert len(nodes) == 2
+        assert all(node.tag == "insurance" for node in nodes)
+
+    def test_endpoint_nodes(self, healthcare_doc, healthcare_scs):
+        name_ssn = healthcare_scs[1]
+        pnames = name_ssn.endpoint_nodes(healthcare_doc, 1)
+        ssns = name_ssn.endpoint_nodes(healthcare_doc, 2)
+        assert sorted(n.text_value() for n in pnames) == ["Betty", "Matt"]
+        assert sorted(n.text_value() for n in ssns) == ["276543", "763895"]
+
+    def test_endpoint_on_node_type_rejected(self, healthcare_doc, healthcare_scs):
+        with pytest.raises(ValueError):
+            healthcare_scs[0].endpoint_nodes(healthcare_doc, 1)
+
+    def test_association_pairs(self, healthcare_doc, healthcare_scs):
+        name_disease = healthcare_scs[2]
+        pairs = set(name_disease.association_pairs(healthcare_doc))
+        assert ("Betty", "diarrhea") in pairs
+        assert ("Matt", "leukemia") in pairs
+        assert ("Betty", "leukemia") not in pairs
+
+    def test_disease_doctor_pairs_scoped_by_treat(
+        self, healthcare_doc, healthcare_scs
+    ):
+        disease_doctor = healthcare_scs[3]
+        pairs = set(disease_doctor.association_pairs(healthcare_doc))
+        # Each treat element scopes its own pair.
+        assert ("diarrhea", "Smith") in pairs
+        assert ("diarrhea", "Walker") in pairs
+        assert ("leukemia", "Brown") in pairs
+        assert ("diarrhea", "Brown") not in pairs
+
+
+class TestCapturedQueries:
+    def test_node_type_captures_context(self, healthcare_doc, healthcare_scs):
+        queries = healthcare_scs[0].captured_queries(healthcare_doc)
+        assert queries == ["//insurance"]
+
+    def test_association_captures_value_pairs(
+        self, healthcare_doc, healthcare_scs
+    ):
+        queries = healthcare_scs[1].captured_queries(healthcare_doc)
+        assert "//patient[pname='Betty'][SSN='763895']" in queries
+        assert len(queries) == 2
+
+    def test_captured_queries_hold(self, healthcare_doc, healthcare_scs):
+        for constraint in healthcare_scs:
+            for query in constraint.captured_queries(healthcare_doc):
+                assert constraint.holds(healthcare_doc, query), query
+
+    def test_non_occurring_association_not_captured(
+        self, healthcare_doc, healthcare_scs
+    ):
+        queries = healthcare_scs[2].captured_queries(healthcare_doc)
+        assert "//patient[pname='Betty'][disease='leukemia']" not in queries

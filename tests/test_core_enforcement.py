@@ -1,0 +1,109 @@
+"""Tests for the independent enforcement checker (Theorem 4.1 conditions)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.enforcement import assert_enforced, check_enforcement
+from repro.core.scheme import EncryptionScheme, build_scheme
+from repro.xpath.evaluator import evaluate
+
+
+class TestBuiltInSchemesEnforce:
+    @pytest.mark.parametrize("kind", ["opt", "app", "sub", "top", "leaf"])
+    def test_healthcare(self, kind, healthcare_doc, healthcare_scs):
+        scheme = build_scheme(healthcare_doc, healthcare_scs, kind)
+        assert check_enforcement(healthcare_doc, healthcare_scs, scheme) == []
+
+    @pytest.mark.parametrize("kind", ["opt", "app", "sub", "top"])
+    def test_nasa(self, kind, nasa_doc, nasa_scs):
+        scheme = build_scheme(nasa_doc, nasa_scs, kind)
+        assert check_enforcement(nasa_doc, nasa_scs, scheme) == []
+
+    @pytest.mark.parametrize("kind", ["opt", "app"])
+    def test_xmark(self, kind, xmark_doc, xmark_scs):
+        scheme = build_scheme(xmark_doc, xmark_scs, kind)
+        assert check_enforcement(xmark_doc, xmark_scs, scheme) == []
+
+
+class TestViolationsDetected:
+    def test_empty_scheme_violates_everything(
+        self, healthcare_doc, healthcare_scs
+    ):
+        empty = EncryptionScheme("custom", frozenset())
+        violations = check_enforcement(
+            healthcare_doc, healthcare_scs, empty
+        )
+        # 2 insurance nodes + 3 association SCs across contexts.
+        assert len(violations) >= 5
+        assert any("insurance" in str(v) for v in violations)
+
+    def test_node_constraint_violation_named(self, healthcare_doc, healthcare_scs):
+        # Encrypt only one of the two insurance nodes.
+        insurance = evaluate(healthcare_doc, "//insurance")
+        partial = EncryptionScheme(
+            "custom", frozenset({insurance[0].node_id})
+        )
+        violations = check_enforcement(
+            healthcare_doc, [healthcare_scs[0]], partial
+        )
+        assert len(violations) == 1
+        assert str(insurance[1].node_id) in violations[0].reason
+
+    def test_association_needs_full_side(self, healthcare_doc, healthcare_scs):
+        """Encrypting only ONE of Betty's diseases leaves the pair exposed."""
+        diseases = evaluate(healthcare_doc, "//disease")
+        partial = EncryptionScheme(
+            "custom", frozenset({diseases[0].node_id})
+        )
+        name_disease = healthcare_scs[2]  # //patient:(/pname, //disease)
+        violations = check_enforcement(
+            healthcare_doc, [name_disease], partial
+        )
+        assert violations  # Betty's other disease + Matt's are exposed
+
+    def test_either_side_suffices(self, healthcare_doc, healthcare_scs):
+        """Encrypting all pnames (the other side) also enforces."""
+        pnames = evaluate(healthcare_doc, "//pname")
+        scheme = EncryptionScheme(
+            "custom", frozenset(n.node_id for n in pnames)
+        )
+        name_disease = healthcare_scs[2]
+        assert check_enforcement(
+            healthcare_doc, [name_disease], scheme
+        ) == []
+
+    def test_insecure_hosting_flagged(self, healthcare_doc, healthcare_scs):
+        scheme = build_scheme(healthcare_doc, healthcare_scs, "leaf")
+        violations = check_enforcement(
+            healthcare_doc, healthcare_scs, scheme, secure_hosting=False
+        )
+        assert any("decoys" in v.reason for v in violations)
+
+    def test_assert_enforced_raises_with_report(
+        self, healthcare_doc, healthcare_scs
+    ):
+        empty = EncryptionScheme("custom", frozenset())
+        with pytest.raises(ValueError, match="does not enforce"):
+            assert_enforced(healthcare_doc, healthcare_scs, empty)
+
+    def test_assert_enforced_passes_silently(
+        self, healthcare_doc, healthcare_scs
+    ):
+        scheme = build_scheme(healthcare_doc, healthcare_scs, "opt")
+        assert_enforced(healthcare_doc, healthcare_scs, scheme)
+
+
+class TestPropertyBuiltInsNeverUnderEncrypt:
+    """The constructors satisfy the checker on random inputs."""
+
+    @given(st.integers(min_value=3, max_value=12), st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_random_nasa_instances(self, dataset_count, seed):
+        from repro.workloads.nasa import build_nasa_database, nasa_constraints
+
+        document = build_nasa_database(dataset_count, seed=seed)
+        constraints = nasa_constraints()
+        for kind in ("opt", "app", "sub", "top"):
+            scheme = build_scheme(document, constraints, kind)
+            assert check_enforcement(document, constraints, scheme) == [], kind

@@ -1,0 +1,158 @@
+"""Tests for server fragment assembly and client post-processing internals."""
+
+import pytest
+
+from repro.core.client import Client, QueryAnswer, canonical_node
+from repro.core.encryptor import host_database
+from repro.core.scheme import build_scheme
+from repro.core.server import Fragment, Server, ServerResponse
+from repro.crypto.keyring import ClientKeyring
+from repro.xmldb.node import Attribute, Element
+from repro.xmldb.parser import parse_fragment
+from repro.xmldb.serializer import serialize
+
+
+@pytest.fixture
+def stack(healthcare_doc, healthcare_scs):
+    keyring = ClientKeyring(b"s" * 16)
+    scheme = build_scheme(healthcare_doc, healthcare_scs, "opt")
+    hosted = host_database(healthcare_doc, scheme, keyring)
+    return hosted, Server(hosted), Client(keyring, hosted)
+
+
+class TestServerFragments:
+    def test_fragments_carry_ancestor_paths(self, stack):
+        hosted, server, client = stack
+        response = server.answer(client.translate("//treat/doctor"))
+        assert response.fragments
+        for fragment in response.fragments:
+            tags = [tag for tag, _ in fragment.ancestor_path]
+            assert tags[0] == "hospital"
+            assert tags[-1] == "treat"
+
+    def test_nested_fragments_deduplicated(self, stack):
+        hosted, server, client = stack
+        # //patient and //patient/treat both match; shipping patient
+        # subsumes treat.
+        response = server.answer(client.translate("//patient"))
+        roots = [f.ancestor_path for f in response.fragments]
+        assert len(response.fragments) == 2  # one per patient, no nesting
+
+    def test_attribute_match_ships_owner(self, stack):
+        hosted, server, client = stack
+        response = server.answer(client.translate("//insurance//@coverage"))
+        # @coverage lives inside insurance blocks -> blocks shipped.
+        assert response.blocks_shipped == 2
+
+    def test_no_matches_empty_response(self, stack):
+        hosted, server, client = stack
+        response = server.answer(client.translate("//unicorn"))
+        assert response.fragments == []
+        assert response.size_bytes() == 0
+
+    def test_ship_all_is_whole_database(self, stack):
+        hosted, server, client = stack
+        response = server.ship_all()
+        assert response.naive
+        assert len(response.fragments) == 1
+        assert response.fragments[0].ancestor_path == ()
+        assert response.size_bytes() >= server.hosted_size_bytes()
+
+    def test_fragment_size_accounts_path(self):
+        fragment = Fragment(
+            ancestor_path=(("hospital", 0), ("patient", 1)), xml="<a/>"
+        )
+        assert fragment.size_bytes() > len("<a/>")
+
+
+class TestClientDecryption:
+    def test_decrypt_fragments_strips_decoys(self, stack):
+        hosted, server, client = stack
+        response = server.answer(client.translate("//insurance"))
+        decrypted = client.decrypt_fragments(response)
+        for _, root in decrypted:
+            assert "__decoy__" not in serialize(root)
+            assert root.tag == "insurance"
+
+    def test_decrypt_root_level_block(self, stack):
+        hosted, server, client = stack
+        block_id, payload = next(iter(hosted.blocks.items()))
+        xml = (
+            f'<EncryptedData block-id="{block_id}">{payload.hex()}'
+            "</EncryptedData>"
+        )
+        response = ServerResponse(
+            fragments=[Fragment(ancestor_path=(("hospital", 0),), xml=xml)]
+        )
+        decrypted = client.decrypt_fragments(response)
+        assert len(decrypted) == 1
+        assert isinstance(decrypted[0][1], Element)
+        assert decrypted[0][1].tag != "EncryptedData"
+
+    def test_decrypt_nested_placeholders(self, stack):
+        hosted, server, client = stack
+        response = server.answer(client.translate("//patient"))
+        decrypted = client.decrypt_fragments(response)
+        for _, root in decrypted:
+            assert "EncryptedData" not in serialize(root)
+
+
+class TestClientAssembly:
+    def test_assemble_merges_shared_ancestors(self, stack):
+        hosted, server, client = stack
+        response = server.answer(client.translate("//treat/doctor"))
+        pruned = client.assemble(client.decrypt_fragments(response))
+        # All three treats re-attach under ONE hospital root with their
+        # own patient skeletons (two patients).
+        assert pruned.root.tag == "hospital"
+        patients = [
+            child for child in pruned.root.children
+            if isinstance(child, Element) and child.tag == "patient"
+        ]
+        assert len(patients) == 2
+
+    def test_assemble_whole_document_fragment(self, stack):
+        hosted, server, client = stack
+        pruned = client.assemble(
+            client.decrypt_fragments(server.ship_all())
+        )
+        assert pruned.root.tag == "hospital"
+        assert len(list(pruned.root.iter())) > 10
+
+    def test_assemble_empty(self, stack):
+        hosted, server, client = stack
+        pruned = client.assemble([])
+        assert pruned.root.tag == "hospital"
+        assert pruned.root.children == []
+
+    def test_post_process_exactness(self, stack, healthcare_doc):
+        hosted, server, client = stack
+        query = "//treat[disease='diarrhea']/doctor"
+        response = server.answer(client.translate(query))
+        pruned = client.assemble(client.decrypt_fragments(response))
+        answer = client.post_process(query, pruned)
+        from repro.xpath.evaluator import evaluate
+
+        expected = sorted(
+            canonical_node(n) for n in evaluate(healthcare_doc, query)
+        )
+        assert answer.canonical() == expected
+
+
+class TestQueryAnswer:
+    def test_canonical_node_forms(self):
+        element = parse_fragment("<a>v</a>")
+        assert canonical_node(element) == "<a>v</a>"
+        attribute = Attribute("x", "1")
+        assert canonical_node(attribute) == "@x=1"
+
+    def test_values_skips_non_leaves(self):
+        root = parse_fragment("<a><b>v</b><c><d>w</d></c></a>")
+        from repro.xmldb.node import Document
+
+        answer = QueryAnswer(
+            nodes=[root, root.children[0]],
+            pruned_document=Document(root.clone()),
+        )
+        assert answer.values() == ["v"]  # root has no text value
+        assert len(answer) == 2

@@ -1,0 +1,125 @@
+"""Tests for saving and loading hosted systems."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.client import canonical_node
+from repro.core.storage import load_system, save_system
+from repro.core.system import SecureXMLSystem
+from repro.xpath.evaluator import evaluate
+
+MASTER = b"storage-test-master-key-32bytes!"
+
+QUERIES = (
+    "//patient[.//insurance//@coverage>=10000]//SSN",
+    "//treat[disease='leukemia']/doctor",
+    "//patient[age>36]/pname",
+    "//insurance/policy#",
+)
+
+
+@pytest.fixture
+def saved(tmp_path, healthcare_doc, healthcare_scs):
+    system = SecureXMLSystem.host(
+        healthcare_doc, healthcare_scs, scheme="opt", master_key=MASTER
+    )
+    directory = str(tmp_path / "hosting")
+    save_system(system, directory)
+    return system, directory
+
+
+class TestRoundTrip:
+    def test_files_written(self, saved):
+        _, directory = saved
+        for name in ("hosted.xml", "server_meta.json", "client_state.json"):
+            assert os.path.exists(os.path.join(directory, name))
+
+    def test_queries_match_original(self, saved, healthcare_doc):
+        original, directory = saved
+        loaded = load_system(directory, MASTER)
+        for query in QUERIES:
+            expected = sorted(
+                canonical_node(n) for n in evaluate(healthcare_doc, query)
+            )
+            assert loaded.query(query).canonical() == expected, query
+
+    def test_loaded_metadata_matches(self, saved):
+        original, directory = saved
+        loaded = load_system(directory, MASTER)
+        assert loaded.hosted.block_count() == original.hosted.block_count()
+        assert loaded.hosted.encrypted_tags == original.hosted.encrypted_tags
+        assert loaded.hosted.field_tokens == original.hosted.field_tokens
+        assert len(loaded.hosted.structural_index.all_entries()) == len(
+            original.hosted.structural_index.all_entries()
+        )
+
+    def test_aggregates_after_load(self, saved):
+        _, directory = saved
+        loaded = load_system(directory, MASTER)
+        assert loaded.aggregate("//patient/age", "avg") == 37.5
+        assert loaded.aggregate("//SSN", "min", mode="server") == (
+            loaded.aggregate("//SSN", "min")
+        )
+
+    def test_updates_after_load(self, saved, healthcare_doc):
+        _, directory = saved
+        loaded = load_system(directory, MASTER)
+        loaded.update_value("//patient[pname='Betty']/SSN", "555555")
+        answer = loaded.query("//patient[SSN='555555']/pname")
+        assert answer.values() == ["Betty"]
+
+    def test_save_load_save_stable(self, saved, tmp_path):
+        _, directory = saved
+        loaded = load_system(directory, MASTER)
+        second_directory = str(tmp_path / "hosting2")
+        save_system(loaded, second_directory)
+        reloaded = load_system(second_directory, MASTER)
+        assert reloaded.query("//SSN").canonical() == loaded.query(
+            "//SSN"
+        ).canonical()
+
+
+class TestKeySeparation:
+    def test_wrong_master_key_cannot_decrypt(self, saved):
+        _, directory = saved
+        intruder = load_system(directory, b"wrong-key-wrong-key-wrong-key-!!")
+        # Wrong key -> wrong tag tokens -> the index lookup misses and the
+        # intruder sees nothing...
+        assert intruder.query("//insurance").canonical() == []
+        # ...and actually touching the ciphertext (the naive path decrypts
+        # every block) fails outright.
+        with pytest.raises(Exception):
+            intruder.naive_query("//insurance")
+
+    def test_server_files_hold_no_sensitive_plaintext(self, saved):
+        original, directory = saved
+        with open(os.path.join(directory, "hosted.xml")) as f:
+            hosted_xml = f.read()
+        with open(os.path.join(directory, "server_meta.json")) as f:
+            meta_text = f.read()
+        for field, plan in original.hosted.field_plans.items():
+            for value in plan.ordered_values:
+                assert f">{value}<" not in hosted_xml
+                assert f'"{value}"' not in meta_text
+
+    def test_client_state_is_the_sensitive_file(self, saved):
+        """Documents the trust boundary: client_state.json stays home."""
+        _, directory = saved
+        with open(os.path.join(directory, "client_state.json")) as f:
+            client_state = json.load(f)
+        assert "occurrences" in client_state  # plaintext values live here
+
+
+class TestVersioning:
+    def test_bad_version_rejected(self, saved):
+        _, directory = saved
+        path = os.path.join(directory, "server_meta.json")
+        with open(path) as f:
+            meta = json.load(f)
+        meta["version"] = 999
+        with open(path, "w") as f:
+            json.dump(meta, f)
+        with pytest.raises(ValueError):
+            load_system(directory, MASTER)

@@ -1,0 +1,79 @@
+"""Focused tests for ship-node selection (the fragment-granularity choice).
+
+The ship node determines what the server returns: the deepest spine node
+whose subtree still contains every constrained/branching pattern node and
+the output.  Getting it wrong either breaks exactness (too deep) or ships
+the world (too shallow), so its placement deserves direct coverage.
+"""
+
+import pytest
+
+from repro.core.translate import _ship_node
+from repro.xpath.compiler import compile_pattern
+from repro.xpath.parser import parse_xpath
+
+
+def ship_test(query: str) -> str:
+    pattern = compile_pattern(parse_xpath(query))
+    return _ship_node(pattern).test
+
+
+class TestShipNodePlacement:
+    def test_plain_chain_ships_output(self):
+        assert ship_test("/a/b/c") == "c"
+        assert ship_test("//SSN") == "SSN"
+
+    def test_predicate_pins_the_spine_node(self):
+        assert ship_test("//patient[pname='B']//SSN") == "patient"
+
+    def test_self_constraint_pins_its_node(self):
+        assert ship_test("//a/b[.='v']") == "b"
+
+    def test_deep_predicate_branch(self):
+        assert ship_test(
+            "//patient[.//insurance//@coverage>=1]//SSN"
+        ) == "patient"
+
+    def test_predicate_below_output_is_fine(self):
+        # The branch hangs off the output node itself: ship the output.
+        assert ship_test("//a/b[c='v']") == "b"
+
+    def test_earliest_constraint_wins(self):
+        assert ship_test("//a[x=1]/b[y=2]/c") == "a"
+
+    def test_mid_spine_constraint(self):
+        assert ship_test("//a/b[y=2]/c") == "b"
+
+    def test_existence_branch_counts(self):
+        assert ship_test("//a[b]/c/d") == "a"
+
+    def test_wildcards_on_spine(self):
+        assert ship_test("/a/*/c") == "c"
+
+    def test_attribute_output(self):
+        assert ship_test("//a/@x") == "@x"
+        assert ship_test("//a[@k='1']/@x") == "a"
+
+
+class TestShipNodeExactnessConsequence:
+    """Shipping at the chosen node keeps block-granular predicates exact."""
+
+    @pytest.mark.parametrize("kind", ["sub", "top"])
+    def test_coarse_blocks_with_predicates(
+        self, kind, healthcare_doc, healthcare_scs
+    ):
+        from repro.core.client import canonical_node
+        from repro.core.system import SecureXMLSystem
+        from repro.xpath.evaluator import evaluate
+
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme=kind
+        )
+        # Under sub/top the SSN block spans more than one SSN value, so a
+        # block-granular predicate check alone would be wrong; the shipped
+        # patient context restores exactness.
+        query = "//patient[SSN='763895']/pname"
+        expected = sorted(
+            canonical_node(n) for n in evaluate(healthcare_doc, query)
+        )
+        assert system.query(query).canonical() == expected

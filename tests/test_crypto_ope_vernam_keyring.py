@@ -1,0 +1,193 @@
+"""Tests for order-preserving encryption, the tag cipher and the keyring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keyring import ClientKeyring
+from repro.crypto.ope import OrderPreservingEncryption
+from repro.crypto.vernam import DeterministicTagCipher, VernamCipher
+
+
+def small_ope(key: bytes = b"k" * 16) -> OrderPreservingEncryption:
+    return OrderPreservingEncryption(key, domain_bits=16, expansion_bits=8)
+
+
+class TestOPE:
+    def test_strictly_monotone_on_sample(self):
+        ope = small_ope()
+        values = [0, 1, 2, 17, 500, 40_000, (1 << 16) - 1]
+        ciphertexts = [ope.encrypt_int(v) for v in values]
+        assert ciphertexts == sorted(ciphertexts)
+        assert len(set(ciphertexts)) == len(values)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 16) - 1),
+            min_size=2,
+            max_size=30,
+            unique=True,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_order_preservation_property(self, values):
+        ope = small_ope()
+        encrypted = {v: ope.encrypt_int(v) for v in values}
+        ordered = sorted(values)
+        for smaller, larger in zip(ordered, ordered[1:]):
+            assert encrypted[smaller] < encrypted[larger]
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_decrypt_inverts(self, value):
+        ope = small_ope()
+        assert ope.decrypt_int(ope.encrypt_int(value)) == value
+
+    def test_invalid_ciphertext_rejected(self):
+        ope = small_ope()
+        valid = ope.encrypt_int(100)
+        sibling = ope.encrypt_int(101)
+        # Some integer strictly between two consecutive ciphertexts cannot
+        # decrypt (the range is larger than the domain).
+        if sibling - valid > 1:
+            with pytest.raises(ValueError):
+                ope.decrypt_int(valid + 1)
+
+    def test_key_separation(self):
+        a = small_ope(b"a" * 16)
+        b = small_ope(b"b" * 16)
+        values = list(range(0, 1000, 97))
+        assert [a.encrypt_int(v) for v in values] != [
+            b.encrypt_int(v) for v in values
+        ]
+
+    def test_domain_bounds_enforced(self):
+        ope = small_ope()
+        with pytest.raises(ValueError):
+            ope.encrypt_int(-1)
+        with pytest.raises(ValueError):
+            ope.encrypt_int(1 << 16)
+
+    def test_float_interface(self):
+        ope = OrderPreservingEncryption(b"k" * 16)
+        low = ope.encrypt_float(23.45)
+        high = ope.encrypt_float(24.35)
+        assert low < high
+        assert abs(ope.decrypt_float(low) - 23.45) < 1e-9
+
+    def test_float_quantization_distinguishes_close_values(self):
+        ope = OrderPreservingEncryption(b"k" * 16)
+        assert ope.encrypt_float(1.00001) < ope.encrypt_float(1.00002)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            OrderPreservingEncryption(b"k" * 16, domain_bits=2)
+        with pytest.raises(ValueError):
+            OrderPreservingEncryption(b"k" * 16, expansion_bits=64)
+
+    def test_deterministic_across_instances(self):
+        first = small_ope()
+        second = small_ope()
+        for value in (0, 5, 1234):
+            assert first.encrypt_int(value) == second.encrypt_int(value)
+
+
+class TestVernam:
+    def test_xor_roundtrip(self):
+        pad = bytes(range(32))
+        message = b"attack at dawn"
+        ciphertext = VernamCipher.encrypt(message, pad)
+        assert VernamCipher.decrypt(ciphertext, pad) == message
+
+    def test_short_pad_rejected(self):
+        with pytest.raises(ValueError):
+            VernamCipher.encrypt(b"long message", b"pad")
+
+    def test_perfect_secrecy_shape(self):
+        # Any ciphertext is reachable from any equal-length plaintext under
+        # some pad — the textbook perfect-security argument.
+        message_a, message_b = b"yes", b"nor"
+        ciphertext = VernamCipher.encrypt(message_a, b"\x10\x20\x30")
+        pad_b = bytes(m ^ c for m, c in zip(message_b, ciphertext))
+        assert VernamCipher.encrypt(message_b, pad_b) == ciphertext
+
+
+class TestTagCipher:
+    def test_deterministic_per_tag(self):
+        cipher = DeterministicTagCipher(b"t" * 32)
+        assert cipher.encrypt_tag("SSN") == cipher.encrypt_tag("SSN")
+
+    def test_distinct_tags_distinct_tokens(self):
+        cipher = DeterministicTagCipher(b"t" * 32)
+        tags = ["SSN", "insurance", "pname", "disease", "@coverage", "a", "b"]
+        tokens = {cipher.encrypt_tag(tag) for tag in tags}
+        assert len(tokens) == len(tags)
+
+    def test_token_shape(self):
+        cipher = DeterministicTagCipher(b"t" * 32, token_length=12)
+        token = cipher.encrypt_tag("patient")
+        assert len(token) == 12
+        assert all(c.isalnum() and not c.islower() for c in token)
+
+    def test_decrypt_known(self):
+        cipher = DeterministicTagCipher(b"t" * 32)
+        token = cipher.encrypt_tag("treat")
+        assert cipher.decrypt_tag(token) == "treat"
+
+    def test_decrypt_unknown_rejected(self):
+        cipher = DeterministicTagCipher(b"t" * 32)
+        with pytest.raises(ValueError):
+            cipher.decrypt_tag("NEVERSEEN1")
+
+    def test_key_separation(self):
+        a = DeterministicTagCipher(b"a" * 32)
+        b = DeterministicTagCipher(b"b" * 32)
+        assert a.encrypt_tag("SSN") != b.encrypt_tag("SSN")
+
+    def test_known_tags_snapshot(self):
+        cipher = DeterministicTagCipher(b"t" * 32)
+        cipher.encrypt_tag("x")
+        snapshot = cipher.known_tags()
+        assert set(snapshot) == {"x"}
+
+    def test_token_length_validated(self):
+        with pytest.raises(ValueError):
+            DeterministicTagCipher(b"t" * 32, token_length=2)
+
+
+class TestKeyring:
+    def test_minimum_key_length(self):
+        with pytest.raises(ValueError):
+            ClientKeyring(b"short")
+
+    def test_determinism(self):
+        a = ClientKeyring(b"m" * 16)
+        b = ClientKeyring(b"m" * 16)
+        assert a.block_iv(3) == b.block_iv(3)
+        assert a.tag_cipher.encrypt_tag("x") == b.tag_cipher.encrypt_tag("x")
+        assert a.ope.encrypt_int(5) == b.ope.encrypt_int(5)
+        assert a.dsi_weight_stream().uniform() == b.dsi_weight_stream().uniform()
+
+    def test_purpose_separation(self):
+        keyring = ClientKeyring(b"m" * 16)
+        assert keyring.block_iv(1) != keyring.block_iv(2)
+        weights = keyring.dsi_weight_stream()
+        decoys = keyring.decoy_stream()
+        assert weights.uniform() != decoys.uniform()
+
+    def test_field_streams_independent(self):
+        keyring = ClientKeyring(b"m" * 16)
+        a = keyring.opess_stream("age")
+        b = keyring.opess_stream("income")
+        assert a.uint(64) != b.uint(64)
+
+    def test_from_passphrase(self):
+        keyring = ClientKeyring.from_passphrase("hunter2")
+        again = ClientKeyring.from_passphrase("hunter2")
+        assert keyring.block_iv(1) == again.block_iv(1)
+
+    def test_block_cipher_roundtrip(self):
+        keyring = ClientKeyring(b"m" * 16)
+        block = b"\x42" * 16
+        cipher = keyring.block_cipher
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block

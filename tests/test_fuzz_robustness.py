@@ -1,0 +1,126 @@
+"""Fuzz/robustness tests: hostile inputs fail cleanly, never corrupt state.
+
+A library that hosts other people's data must reject malformed input with
+typed errors — never crash with internal exceptions or accept garbage.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import SecurityConstraint
+from repro.core.system import SecureXMLSystem
+from repro.xmldb.parser import XMLParseError, parse_document
+from repro.xpath.lexer import XPathSyntaxError
+from repro.xpath.parser import parse_xpath
+
+
+class TestParserFuzz:
+    @given(st.text(max_size=120))
+    @settings(max_examples=120, deadline=None)
+    def test_xml_parser_never_crashes(self, text):
+        """Arbitrary text either parses or raises XMLParseError."""
+        try:
+            document = parse_document(text)
+        except XMLParseError:
+            return
+        except (ValueError, OverflowError) as error:
+            # Numeric character references can overflow chr(); they must
+            # still surface as clean ValueErrors.
+            assert "chr" in str(error) or isinstance(error, XMLParseError)
+            return
+        assert document.root is not None
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=120, deadline=None)
+    def test_xpath_parser_never_crashes(self, text):
+        try:
+            parse_xpath(text)
+        except XPathSyntaxError:
+            pass
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_constraint_parser_never_crashes(self, text):
+        try:
+            SecurityConstraint.parse(text)
+        except XPathSyntaxError:
+            pass
+
+    @given(st.binary(min_size=1, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_block_decryption_rejects_garbage(self, junk):
+        from repro.crypto.keyring import ClientKeyring
+        from repro.crypto.modes import cbc_decrypt
+
+        from repro.xmldb.parser import XMLParseError, parse_fragment
+
+        keyring = ClientKeyring(b"f" * 16)
+        try:
+            plaintext = cbc_decrypt(
+                keyring.block_cipher, keyring.block_iv(1), junk
+            )
+        except ValueError:
+            return  # unaligned length or bad padding: the common case
+        # Random bytes survive the PKCS#7 check with probability ~2^-8;
+        # even then they cannot decode/parse as a block subtree — the
+        # contract is "error out, never fabricate data".
+        with pytest.raises((XMLParseError, UnicodeDecodeError, ValueError)):
+            parse_fragment(plaintext.decode("utf-8"))
+
+
+class TestSystemRobustness:
+    @pytest.fixture
+    def system(self, healthcare_doc, healthcare_scs):
+        return SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="opt"
+        )
+
+    def test_malformed_query_raises_cleanly(self, system):
+        with pytest.raises(XPathSyntaxError):
+            system.query("//[broken")
+
+    def test_query_after_error_still_works(self, system):
+        with pytest.raises(XPathSyntaxError):
+            system.query("///")
+        answer = system.query("//SSN")
+        assert len(answer) == 2
+
+    def test_empty_constraint_list_hosts_everything_plaintext(
+        self, healthcare_doc
+    ):
+        system = SecureXMLSystem.host(healthcare_doc, [], scheme="opt")
+        assert system.hosted.block_count() == 0
+        assert len(system.query("//SSN")) == 2
+
+    def test_constraint_matching_nothing(self, healthcare_doc):
+        constraints = [SecurityConstraint.parse("//nonexistent")]
+        system = SecureXMLSystem.host(
+            healthcare_doc, constraints, scheme="opt"
+        )
+        assert system.hosted.block_count() == 0
+
+    def test_single_node_document(self):
+        from repro.xmldb.parser import parse_document
+
+        document = parse_document("<only>x</only>")
+        system = SecureXMLSystem.host(document, [], scheme="top")
+        assert system.query("/only").values() == ["x"]
+
+    def test_deep_chain_document(self):
+        xml = "<a0>" * 1 + "".join(f"<a{i}>" for i in range(1, 12))
+        xml += "v"
+        xml += "".join(f"</a{i}>" for i in range(11, 0, -1)) + "</a0>"
+        document = parse_document(xml)
+        system = SecureXMLSystem.host(document, [], scheme="opt")
+        assert system.query("//a11").values() == ["v"]
+
+    def test_wide_document(self):
+        from repro.xmldb.builder import TreeBuilder
+
+        builder = TreeBuilder("r")
+        for index in range(300):
+            builder.leaf("item", str(index))
+        document = builder.document()
+        system = SecureXMLSystem.host(document, [], scheme="opt")
+        assert len(system.query("//item")) == 300

@@ -1,0 +1,105 @@
+"""Mixed-visibility fields: the same tag encrypted in one context, public
+in another.
+
+A context-scoped constraint (e.g. protecting only one patient) encrypts
+only the bound instances, so a tag can appear both as Vernam tokens and in
+the clear.  Translation must then send both lookup keys, and value
+predicates must consult both the B-tree (encrypted side) and the plaintext
+entries.
+"""
+
+import pytest
+
+from repro.core.client import canonical_node
+from repro.core.constraints import SecurityConstraint
+from repro.core.system import SecureXMLSystem
+from repro.workloads.healthcare import build_healthcare_database
+from repro.xpath.evaluator import evaluate
+
+
+@pytest.fixture
+def mixed_system():
+    document = build_healthcare_database()
+    # Protect only Betty's name↔disease association: Matt's diseases stay
+    # public.
+    constraints = [
+        SecurityConstraint.parse(
+            "//patient[pname='Betty']:(/pname, //disease)"
+        )
+    ]
+    system = SecureXMLSystem.host(document, constraints, scheme="opt")
+    return system, document
+
+
+class TestMixedTagVisibility:
+    def test_tag_is_mixed(self, mixed_system):
+        system, _ = mixed_system
+        cover = system.scheme.covered_fields
+        field = "disease" if "disease" in cover else "pname"
+        assert field in system.hosted.encrypted_tags
+        assert field in system.hosted.plaintext_keys
+
+    def test_translation_sends_both_keys(self, mixed_system):
+        system, _ = mixed_system
+        cover = system.scheme.covered_fields
+        field = "disease" if "disease" in cover else "pname"
+        translated = system.client.translate(f"//{field}")
+        assert len(translated.root.keys) == 2
+        assert field in translated.root.keys  # the public side, in clear
+
+    def test_structural_query_finds_both_sides(self, mixed_system):
+        system, document = mixed_system
+        for query in ("//disease", "//pname"):
+            expected = sorted(
+                canonical_node(n) for n in evaluate(document, query)
+            )
+            assert system.query(query).canonical() == expected, query
+
+    def test_value_predicate_spans_both_sides(self, mixed_system):
+        system, document = mixed_system
+        cover = system.scheme.covered_fields
+        field = "disease" if "disease" in cover else "pname"
+        # 'diarrhea' occurs for Betty (encrypted) only; 'leukemia' for
+        # Matt (plaintext) only — and pname mirrors this split.
+        values = sorted(
+            {n.text_value() for n in evaluate(document, f"//{field}")}
+        )
+        for value in values:
+            query = f"//patient[.//{field}='{value}']/age"
+            expected = sorted(
+                canonical_node(n) for n in evaluate(document, query)
+            )
+            assert system.query(query).canonical() == expected, query
+
+    def test_only_bound_instances_encrypted(self, mixed_system):
+        system, document = mixed_system
+        from repro.xmldb.serializer import serialize
+
+        hosted_xml = serialize(system.hosted.hosted_root)
+        cover = system.scheme.covered_fields
+        if "disease" in cover:
+            # Betty's diseases (diarrhea ×2) hidden; Matt's leukemia public.
+            assert ">diarrhea<" not in hosted_xml
+            assert ">leukemia<" in hosted_xml
+        else:
+            assert ">Betty<" not in hosted_xml
+            assert ">Matt<" in hosted_xml
+
+    def test_enforcement_checker_agrees(self, mixed_system):
+        from repro.core.enforcement import check_enforcement
+
+        system, document = mixed_system
+        constraints = [
+            SecurityConstraint.parse(
+                "//patient[pname='Betty']:(/pname, //disease)"
+            )
+        ]
+        assert check_enforcement(document, constraints, system.scheme) == []
+
+    def test_aggregate_over_mixed_field(self, mixed_system):
+        system, document = mixed_system
+        cover = system.scheme.covered_fields
+        field = "disease" if "disease" in cover else "pname"
+        exact = system.aggregate(f"//{field}", "min", mode="exact")
+        server = system.aggregate(f"//{field}", "min", mode="server")
+        assert exact == server

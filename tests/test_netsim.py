@@ -1,0 +1,49 @@
+"""Unit tests for the modelled network channel."""
+
+import pytest
+
+from repro.netsim import Channel
+
+
+class TestChannel:
+    def test_modelled_time_formula(self):
+        channel = Channel(
+            bandwidth_bits_per_second=1_000_000, latency_seconds=0.01
+        )
+        seconds = channel.send("client->server", "q", 125_000)  # 1 Mbit
+        assert seconds == pytest.approx(0.01 + 1.0)
+
+    def test_default_is_paper_lan(self):
+        channel = Channel()
+        assert channel.bandwidth_bits_per_second == 100_000_000.0
+
+    def test_transfer_log_accumulates(self):
+        channel = Channel()
+        channel.send("client->server", "q", 100)
+        channel.send("server->client", "a", 400)
+        assert channel.total_bytes() == 500
+        assert channel.total_bytes("server->client") == 400
+        assert len(channel.transfers) == 2
+
+    def test_total_seconds_by_direction(self):
+        channel = Channel(latency_seconds=1.0, bandwidth_bits_per_second=8.0)
+        channel.send("client->server", "q", 1)  # 1 + 1 = 2s
+        channel.send("server->client", "a", 2)  # 1 + 2 = 3s
+        assert channel.total_seconds() == pytest.approx(5.0)
+        assert channel.total_seconds("client->server") == pytest.approx(2.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Channel().send("client->server", "q", -1)
+
+    def test_reset(self):
+        channel = Channel()
+        channel.send("client->server", "q", 10)
+        channel.reset()
+        assert channel.total_bytes() == 0
+
+    def test_lan_transfer_negligible(self):
+        """The §7.2 observation: at 100 Mbps the wire time is tiny."""
+        channel = Channel()
+        seconds = channel.send("server->client", "a", 50_000)  # 50 KB answer
+        assert seconds < 0.005

@@ -1,0 +1,139 @@
+"""Property-based end-to-end test: Q(D) == secure pipeline on random inputs.
+
+Hypothesis generates random documents over a small tag vocabulary (so tags
+repeat across depths and values repeat across leaves — the hard cases for
+grouping and OPESS), random constraint sets over that vocabulary and random
+queries; the pipeline must return exactly the plaintext answer every time,
+under every scheme granularity.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.client import canonical_node
+from repro.core.constraints import SecurityConstraint
+from repro.core.system import SecureXMLSystem
+from repro.xmldb.builder import TreeBuilder
+from repro.xmldb.node import Document
+from repro.xpath.evaluator import evaluate
+
+_CONTAINER_TAGS = ["rec", "grp", "box"]
+_LEAF_TAGS = ["alpha", "beta", "gamma"]
+_VALUES = ["v1", "v2", "v3", "10", "25", "300"]
+
+
+@st.composite
+def documents(draw) -> Document:
+    builder = TreeBuilder("root")
+    record_count = draw(st.integers(min_value=1, max_value=5))
+    for _ in range(record_count):
+        tag = draw(st.sampled_from(_CONTAINER_TAGS))
+        with builder.element(tag):
+            leaf_count = draw(st.integers(min_value=1, max_value=3))
+            for _ in range(leaf_count):
+                builder.leaf(
+                    draw(st.sampled_from(_LEAF_TAGS)),
+                    draw(st.sampled_from(_VALUES)),
+                )
+            if draw(st.booleans()):
+                with builder.element(draw(st.sampled_from(_CONTAINER_TAGS))):
+                    builder.leaf(
+                        draw(st.sampled_from(_LEAF_TAGS)),
+                        draw(st.sampled_from(_VALUES)),
+                    )
+    return builder.document()
+
+
+@st.composite
+def constraint_sets(draw) -> list[SecurityConstraint]:
+    constraints = []
+    if draw(st.booleans()):
+        tag = draw(st.sampled_from(_CONTAINER_TAGS))
+        constraints.append(SecurityConstraint.parse(f"//{tag}"))
+    pair_count = draw(st.integers(min_value=0, max_value=2))
+    for _ in range(pair_count):
+        context = draw(st.sampled_from(_CONTAINER_TAGS))
+        left = draw(st.sampled_from(_LEAF_TAGS))
+        right = draw(st.sampled_from([t for t in _LEAF_TAGS if t != left]))
+        constraints.append(
+            SecurityConstraint.parse(f"//{context}:(//{left}, //{right})")
+        )
+    return constraints
+
+
+@st.composite
+def queries(draw) -> str:
+    kind = draw(st.integers(min_value=0, max_value=5))
+    container = draw(st.sampled_from(_CONTAINER_TAGS))
+    leaf = draw(st.sampled_from(_LEAF_TAGS))
+    value = draw(st.sampled_from(_VALUES))
+    if kind == 0:
+        return f"//{leaf}"
+    if kind == 1:
+        return f"/root/{container}/{leaf}"
+    if kind == 2:
+        return f"//{container}[{leaf}='{value}']"
+    if kind == 3:
+        return f"//{container}//{leaf}"
+    if kind == 4:
+        return f"//{container}[.//{leaf}='{value}']//{leaf}"
+    return f"//{leaf}[.='{value}']"
+
+
+def truth(document, query):
+    return sorted(canonical_node(n) for n in evaluate(document, query))
+
+
+class TestRandomizedExactness:
+    @given(
+        documents(),
+        constraint_sets(),
+        st.lists(queries(), min_size=1, max_size=3),
+        st.sampled_from(["opt", "top"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_pipeline_matches_oracle(
+        self, document, constraints, query_list, scheme
+    ):
+        system = SecureXMLSystem.host(document, constraints, scheme=scheme)
+        for query in query_list:
+            assert system.query(query).canonical() == truth(document, query)
+
+    @given(documents(), constraint_sets())
+    @settings(max_examples=15, deadline=None)
+    def test_captured_queries_protected(self, document, constraints):
+        """Enforcement invariant: every covered SC endpoint is encrypted."""
+        system = SecureXMLSystem.host(document, constraints, scheme="opt")
+        hosted = system.hosted
+        for constraint in constraints:
+            if not constraint.is_association:
+                for node in constraint.context_nodes(document):
+                    assert node.tag in hosted.encrypted_tags
+            else:
+                endpoints = {
+                    constraint.endpoint_field(1),
+                    constraint.endpoint_field(2),
+                }
+                # At least one endpoint's bound values live in blocks (it
+                # may be absent from the document entirely).
+                covered = endpoints & system.scheme.covered_fields
+                bound = any(
+                    constraint.endpoint_nodes(document, which)
+                    for which in (1, 2)
+                )
+                if bound:
+                    assert covered
+
+    @given(documents(), st.sampled_from(["opt", "app", "sub", "top"]))
+    @settings(max_examples=15, deadline=None)
+    def test_hosting_deterministic(self, document, scheme):
+        from repro.xmldb.serializer import serialize
+
+        constraints = [
+            SecurityConstraint.parse("//rec:(//alpha, //beta)")
+        ]
+        first = SecureXMLSystem.host(document, constraints, scheme=scheme)
+        second = SecureXMLSystem.host(document, constraints, scheme=scheme)
+        assert serialize(first.hosted.hosted_root) == serialize(
+            second.hosted.hosted_root
+        )

@@ -1,0 +1,78 @@
+"""Property-based persistence round-trips on random documents."""
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.client import canonical_node
+from repro.core.storage import load_system, save_system
+from repro.core.system import SecureXMLSystem
+from repro.core.constraints import SecurityConstraint
+from repro.xmldb.builder import TreeBuilder
+from repro.xpath.evaluator import evaluate
+
+MASTER = b"property-storage-master-key-32b!"
+
+_TAGS = ["rec", "grp"]
+_LEAVES = ["alpha", "beta"]
+_VALUES = ["v1", "v2", "7", "42"]
+
+
+@st.composite
+def documents(draw):
+    builder = TreeBuilder("root")
+    for _ in range(draw(st.integers(1, 4))):
+        with builder.element(draw(st.sampled_from(_TAGS))):
+            for _ in range(draw(st.integers(1, 3))):
+                builder.leaf(
+                    draw(st.sampled_from(_LEAVES)),
+                    draw(st.sampled_from(_VALUES)),
+                )
+    return builder.document()
+
+
+class TestStorageRoundTripProperty:
+    @given(documents(), st.sampled_from(["opt", "top"]))
+    @settings(max_examples=12, deadline=None)
+    def test_reload_answers_identically(self, document, scheme):
+        constraints = [
+            SecurityConstraint.parse("//rec:(//alpha, //beta)"),
+        ]
+        system = SecureXMLSystem.host(
+            document, constraints, scheme=scheme, master_key=MASTER
+        )
+        queries = [
+            "//alpha",
+            "//rec[alpha='v1']/beta",
+            "/root/grp/beta",
+        ]
+        with tempfile.TemporaryDirectory() as directory:
+            save_system(system, directory)
+            reloaded = load_system(directory, MASTER)
+            for query in queries:
+                expected = sorted(
+                    canonical_node(n) for n in evaluate(document, query)
+                )
+                assert reloaded.query(query).canonical() == expected, query
+
+    @given(documents())
+    @settings(max_examples=8, deadline=None)
+    def test_saved_metadata_sizes_match(self, document):
+        constraints = [
+            SecurityConstraint.parse("//rec:(//alpha, //beta)"),
+        ]
+        system = SecureXMLSystem.host(
+            document, constraints, scheme="opt", master_key=MASTER
+        )
+        with tempfile.TemporaryDirectory() as directory:
+            save_system(system, directory)
+            reloaded = load_system(directory, MASTER)
+        assert reloaded.hosted.block_count() == system.hosted.block_count()
+        assert (
+            reloaded.hosted.value_index.total_entries()
+            == system.hosted.value_index.total_entries()
+        )
+        assert len(reloaded.hosted.structural_index.all_entries()) == len(
+            system.hosted.structural_index.all_entries()
+        )

@@ -1,0 +1,91 @@
+"""Regression tests for bugs found during development.
+
+Each test documents a concrete failure mode that once existed, so the
+exact scenario stays covered forever.
+"""
+
+from repro.core.client import canonical_node
+from repro.core.constraints import parse_constraints
+from repro.core.system import SecureXMLSystem
+from repro.xmldb.builder import TreeBuilder
+from repro.xpath.evaluator import evaluate
+
+
+class TestUnknownLiteralRangeRegression:
+    """Range predicates with literals *between* domain values.
+
+    Bug: the original Figure 7(a) translation anchored range bounds on the
+    literal's own (interpolated) position.  OPESS displacements reach
+    almost a full value-gap δ, so a chunk of a *matching* value could be
+    displaced past the literal's position and fall outside the translated
+    range — the server then dropped its block entirely and the final
+    answer silently lost rows.  Found by
+    ``test_property_opess.TestPredicateOracle`` with histogram
+    {'0': 2, '10': 5} and the predicate ``< 11``.  Fixed by anchoring
+    unknown-literal bounds on the neighbouring domain values.
+    """
+
+    def _build(self):
+        builder = TreeBuilder("people")
+        ages = ["0", "0", "10", "10", "10", "10", "10"]
+        for index, age in enumerate(ages):
+            with builder.element("person"):
+                builder.leaf("name", f"p{index}")
+                builder.leaf("age", age)
+        document = builder.document()
+        constraints = parse_constraints(["//person:(/name, /age)"])
+        return document, constraints
+
+    def test_less_than_between_values(self):
+        document, constraints = self._build()
+        system = SecureXMLSystem.host(document, constraints, scheme="opt")
+        # '11' is not a domain value; every person matches age < 11.
+        query = "//person[age<11]/name"
+        expected = sorted(
+            canonical_node(n) for n in evaluate(document, query)
+        )
+        assert len(expected) == 7
+        assert system.query(query).canonical() == expected
+
+    def test_all_operators_between_values(self):
+        document, constraints = self._build()
+        system = SecureXMLSystem.host(document, constraints, scheme="opt")
+        for literal in ("-1", "5", "11"):
+            for op in ("<", "<=", ">", ">=", "=", "!="):
+                query = f"//person[age{op}{literal}]/name"
+                expected = sorted(
+                    canonical_node(n) for n in evaluate(document, query)
+                )
+                assert system.query(query).canonical() == expected, query
+
+
+class TestCountInternalNodesRegression:
+    """COUNT must count nodes, not leaf values.
+
+    Bug: ``aggregate(query, "count")`` folded over ``answer.values()``,
+    which skips internal elements (they have no text value), so counting
+    ``//author`` returned 0.  Fixed to count answer nodes.
+    """
+
+    def test_count_internal_elements(self, healthcare_doc, healthcare_scs):
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="opt"
+        )
+        assert system.aggregate("//treat", "count") == 3
+        assert system.aggregate("//patient", "count") == 2
+
+
+class TestTableOrderRegression:
+    """DSI table lists must be sorted by interval for the stack joins.
+
+    Bug: index construction walked the tree with an explicit stack, so
+    per-tag entry lists came out in a traversal order that is not
+    document order; ``stack_tree_desc`` silently missed pairs.  Fixed by
+    sorting each table list at build time.
+    """
+
+    def test_lookup_lists_sorted(self, nasa_doc, nasa_scs):
+        system = SecureXMLSystem.host(nasa_doc, nasa_scs, scheme="opt")
+        for entries in system.hosted.structural_index.table.values():
+            lows = [entry.interval.low for entry in entries]
+            assert lows == sorted(lows)

@@ -1,0 +1,147 @@
+"""Tests for the attack simulators, indistinguishability and belief tracking."""
+
+from collections import Counter
+from fractions import Fraction
+
+import pytest
+
+from repro.core.system import SecureXMLSystem
+from repro.security.attacks import FrequencyAttack, SizeAttack
+from repro.security.belief import BeliefTracker
+from repro.security.indistinguishability import (
+    breaks_association,
+    indistinguishable,
+    permute_field_values,
+)
+from repro.workloads.healthcare import build_healthcare_database
+from repro.xmldb.stats import field_frequency
+
+
+class TestFrequencyAttack:
+    def test_cracks_naive_deterministic_encryption(self):
+        """§4.1's motivation: plain per-leaf encryption leaks frequencies."""
+        plaintext = Counter({"leukemia": 1, "diarrhea": 2, "flu": 5})
+        # Naive deterministic encryption preserves the histogram.
+        ciphertext = Counter({"AAA": 1, "BBB": 2, "CCC": 5})
+        report = FrequencyAttack(plaintext).run(ciphertext, "disease")
+        assert report.cracked_fraction == 1.0
+        assert report.success_probability == 1
+
+    def test_cannot_crack_decoy_encryption(self):
+        """With decoys every ciphertext occurs once (Theorem 4.1)."""
+        plaintext = Counter({"a": 3, "b": 4, "c": 5})
+        ciphertext = Counter({f"c{i}": 1 for i in range(12)})
+        report = FrequencyAttack(plaintext).run(ciphertext, "f")
+        assert report.cracked == {}
+        assert report.success_probability == Fraction(1, 27720)
+
+    def test_partial_uniqueness_cracks_partially(self):
+        plaintext = Counter({"x": 2, "y": 2, "z": 7})
+        ciphertext = Counter({"C1": 2, "C2": 2, "C3": 7})
+        report = FrequencyAttack(plaintext).run(ciphertext, "f")
+        assert set(report.cracked) == {"z"}
+        # The two frequency-2 values can still be swapped.
+        assert report.success_probability == Fraction(1, 2)
+
+    def test_scaling_breaks_total_count(self):
+        """OPESS scaling: totals disagree, attacker falls to the bound."""
+        plaintext = Counter({"a": 3, "b": 4})
+        ciphertext = Counter({"c1": 9, "c2": 9, "c3": 12})  # scaled entries
+        report = FrequencyAttack(plaintext).run(ciphertext, "f")
+        assert report.cracked == {}
+        assert report.success_probability < Fraction(1, 1)
+
+    def test_real_system_opess_index_resists_attack(self):
+        """Attack the actual B-tree histograms of a hosted system."""
+        doc = build_healthcare_database()
+        from repro.workloads.healthcare import healthcare_constraints
+
+        system = SecureXMLSystem.host(
+            doc, healthcare_constraints(), scheme="opt"
+        )
+        hosted = system.hosted
+        for field, token in hosted.field_tokens.items():
+            plaintext_histogram = field_frequency(doc, field)
+            observed = hosted.value_index.ciphertext_histogram(token)
+            report = FrequencyAttack(plaintext_histogram).run(observed, field)
+            assert report.cracked == {}, field
+
+
+class TestSizeAttack:
+    def test_eliminates_differently_sized(self):
+        attack = SizeAttack(observed_size=100)
+        assert attack.surviving([100, 90, 100, 101]) == [0, 2]
+        assert attack.eliminates(90)
+        assert not attack.eliminates(100)
+
+
+class TestIndistinguishability:
+    def test_document_indistinguishable_from_itself(self):
+        doc = build_healthcare_database()
+        assert indistinguishable(doc, doc.clone())
+
+    def test_permuted_candidate_indistinguishable(self):
+        doc = build_healthcare_database()
+        candidate = permute_field_values(doc, "doctor", seed=3)
+        assert indistinguishable(doc, candidate)
+
+    def test_permutation_preserves_histogram(self):
+        doc = build_healthcare_database()
+        candidate = permute_field_values(doc, "disease", seed=1)
+        assert field_frequency(doc, "disease") == field_frequency(
+            candidate, "disease"
+        )
+
+    def test_structurally_different_distinguishable(self):
+        doc = build_healthcare_database()
+        other = build_healthcare_database()
+        other.root.children[0].detach()
+        other.renumber()
+        assert not indistinguishable(doc, other)
+
+    def test_candidate_can_break_association(self):
+        """The Theorem 4.1 candidate family: same stats, different secrets."""
+        from repro.core.constraints import SecurityConstraint
+
+        doc = build_healthcare_database()
+        constraint = SecurityConstraint.parse("//treat:(/disease, /doctor)")
+        broke = False
+        for seed in range(10):
+            candidate = permute_field_values(doc, "doctor", seed=seed)
+            if breaks_association(doc, candidate, constraint):
+                broke = True
+                break
+        assert broke
+
+
+class TestBeliefTracker:
+    def test_node_query_belief_flat(self):
+        tracker = BeliefTracker()
+        for _ in range(5):
+            tracker.observe_node_query("B(//insurance)", candidate_tags=8)
+        record = tracker.record("B(//insurance)")
+        assert record.never_increased()
+        assert record.current == Fraction(1, 8)
+
+    def test_association_belief_drops_then_flat(self):
+        tracker = BeliefTracker()
+        for _ in range(4):
+            tracker.observe_association_query(
+                "B(p[q1=v1][q2=v2])", plaintext_values=5, ciphertext_values=15
+            )
+        record = tracker.record("B(p[q1=v1][q2=v2])")
+        assert record.never_increased()
+        assert record.history[0] == Fraction(1, 5)
+        assert record.current == Fraction(1, 1001)
+
+    def test_secure_aggregate(self):
+        tracker = BeliefTracker()
+        tracker.observe_node_query("a", 4)
+        tracker.observe_association_query("b", 3, 9)
+        tracker.observe_association_query("b", 3, 9)
+        assert tracker.secure()
+
+    def test_zero_candidates_rejected(self):
+        tracker = BeliefTracker()
+        with pytest.raises(ValueError):
+            tracker.observe_node_query("a", 0)

@@ -1,0 +1,123 @@
+"""Tests for candidate counting (Theorems 4.1, 5.1, 5.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security.counting import (
+    compositions,
+    database_candidates,
+    paper_examples,
+    structural_candidates,
+    value_index_candidates,
+)
+
+
+class TestPaperNumbers:
+    def test_quoted_examples(self):
+        examples = paper_examples()
+        # §4.1: (3+4+5)! / (3!·4!·5!) = 27720.
+        assert examples["thm41_345"] == 27720
+        # §5.1 and §5.2: C(14, 4) = 1001.
+        assert examples["thm51_15_5"] == 1001
+        assert examples["thm52_15_5"] == 1001
+        # Figure 5 text: 7 leaves in 3 intervals -> 15 assignments.
+        assert examples["thm51_7_3"] == 15
+
+
+class TestDatabaseCandidates:
+    def test_single_value(self):
+        assert database_candidates([5]) == 1
+
+    def test_two_values(self):
+        # C(5,2) = 10 ways to interleave 2+3 occurrences.
+        assert database_candidates([2, 3]) == 10
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            database_candidates([3, 0])
+
+    @given(st.lists(st.integers(1, 8), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_grows_with_extra_value(self, frequencies):
+        base = database_candidates(frequencies)
+        extended = database_candidates(frequencies + [2])
+        assert extended >= base
+
+    def test_exponential_growth_in_total(self):
+        """The security margin grows explosively with the domain."""
+        small = database_candidates([2] * 3)
+        large = database_candidates([2] * 10)
+        assert large > 1000 * small
+
+
+class TestStructuralCandidates:
+    def test_single_interval_single_candidate(self):
+        assert structural_candidates([(7, 1)]) == 1
+
+    def test_fully_split_single_candidate(self):
+        assert structural_candidates([(7, 7)]) == 1
+
+    def test_blocks_multiply(self):
+        single = structural_candidates([(7, 3)])
+        assert structural_candidates([(7, 3), (7, 3)]) == single**2
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            structural_candidates([(3, 4)])
+        with pytest.raises(ValueError):
+            structural_candidates([(3, 0)])
+
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_closed_form_matches_enumeration(self, leaves, intervals):
+        """C(n−1, k−1) really counts the compositions of Figure 5."""
+        if intervals > leaves:
+            intervals = leaves
+        closed = structural_candidates([(leaves, intervals)])
+        assert closed == len(compositions(leaves, intervals))
+
+
+class TestValueIndexCandidates:
+    def test_no_split_single_candidate(self):
+        assert value_index_candidates(5, 5) == 1
+
+    def test_all_merged_single_candidate(self):
+        assert value_index_candidates(9, 1) == 1
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            value_index_candidates(3, 4)
+        with pytest.raises(ValueError):
+            value_index_candidates(3, 0)
+
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=2, max_value=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_theorem_61_inequality(self, n, k):
+        """C(n−1, k−1) ≥ k whenever n > k: the belief never increases."""
+        if k >= n:
+            k = n - 1
+        if k < 2:
+            k = 2
+        if n <= k:
+            n = k + 1
+        assert value_index_candidates(n, k) >= k
+
+
+class TestCompositions:
+    def test_seven_into_three(self):
+        result = compositions(7, 3)
+        assert len(result) == 15
+        assert (1, 1, 5) in result
+        assert (2, 3, 2) in result
+        assert all(sum(c) == 7 for c in result)
+
+    def test_degenerate(self):
+        assert compositions(4, 1) == [(4,)]
+        assert compositions(0, 1) == []

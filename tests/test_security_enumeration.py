@@ -1,0 +1,94 @@
+"""Exhaustive cross-checks of the counting theorems on small instances.
+
+The closed forms behind Theorems 4.1, 5.1 and 5.2 are certified here by
+brute-force enumeration of the candidate sets they count.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security.counting import (
+    database_candidates,
+    structural_candidates,
+    value_index_candidates,
+)
+from repro.security.enumeration import (
+    enumerate_interval_groupings,
+    enumerate_order_preserving_partitions,
+    enumerate_value_assignments,
+)
+
+
+class TestTheorem41Enumeration:
+    def test_paper_shape_small(self):
+        # frequencies (1, 2): 3!/1!2! = 3 assignments.
+        assignments = list(enumerate_value_assignments([1, 2]))
+        assert len(assignments) == database_candidates([1, 2]) == 3
+
+    def test_assignments_are_disjoint_partitions(self):
+        for assignment in enumerate_value_assignments([2, 2, 1]):
+            union = set()
+            for chosen in assignment:
+                assert not (union & chosen)
+                union |= chosen
+            assert union == set(range(5))
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=4)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_enumeration_matches_closed_form(self, frequencies):
+        if sum(frequencies) > 8:
+            frequencies = frequencies[:2]
+        count = sum(1 for _ in enumerate_value_assignments(frequencies))
+        assert count == database_candidates(frequencies)
+
+
+class TestTheorem51Enumeration:
+    @given(
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_groupings_match_closed_form(self, leaves, intervals):
+        if intervals > leaves:
+            intervals = leaves
+        shapes = enumerate_interval_groupings(leaves, intervals)
+        assert len(shapes) == structural_candidates([(leaves, intervals)])
+        assert all(sum(shape) == leaves for shape in shapes)
+        assert all(min(shape) >= 1 for shape in shapes)
+        assert len(set(shapes)) == len(shapes)
+
+    def test_figure5_shapes(self):
+        shapes = enumerate_interval_groupings(7, 3)
+        assert (1, 1, 5) in shapes
+        assert (1, 2, 4) in shapes
+        assert (2, 3, 2) in shapes
+        assert len(shapes) == 15
+
+
+class TestTheorem52Enumeration:
+    @given(
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partitions_match_closed_form(self, n, k):
+        if k > n:
+            k = n
+        partitions = list(enumerate_order_preserving_partitions(n, k))
+        assert len(partitions) == value_index_candidates(n, k)
+
+    def test_partitions_preserve_order(self):
+        for partition in enumerate_order_preserving_partitions(5, 3):
+            flat = [c for run in partition for c in run]
+            assert flat == sorted(flat) == list(range(5))
+            assert all(run for run in partition)
+
+    def test_paper_example_worked(self):
+        """§5.2's worked example: 6 ciphertexts, 3 values → C(5,2) = 10."""
+        partitions = list(enumerate_order_preserving_partitions(6, 3))
+        assert len(partitions) == 10
+        # The first and last mappings quoted in the proof are present.
+        assert ((0,), (1,), (2, 3, 4, 5)) in partitions
+        assert ((0, 1, 2, 3), (4,), (5,)) in partitions

@@ -1,0 +1,67 @@
+"""Tests for the tag-distribution attack (the §8 item-2 limitation)."""
+
+from repro.core.system import SecureXMLSystem
+from repro.security.attacks import TagDistributionAttack
+from repro.xmldb.stats import tag_histogram
+
+
+class TestTagDistributionAttack:
+    def test_limitation_is_real(self, healthcare_doc, healthcare_scs):
+        """With tag priors, unique-count encrypted tags are identified.
+
+        The paper explicitly assumes "the server has no prior knowledge
+        about ... the tag distribution"; this test shows why that
+        assumption is load-bearing.
+        """
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="opt"
+        )
+        attack = TagDistributionAttack(tag_histogram(healthcare_doc))
+        cracked = attack.run(system.hosted)
+        # Every crack must be correct (the attack never asserts wrongly)...
+        cipher = system._keyring.tag_cipher
+        for tag, token in cracked.items():
+            assert cipher.encrypt_tag(tag) == token
+        # ...and at least one fully-encrypted tag falls to the attack.
+        assert cracked
+
+    def test_without_priors_nothing_cracks(self, healthcare_doc, healthcare_scs):
+        from collections import Counter
+
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="opt"
+        )
+        attack = TagDistributionAttack(Counter())  # no prior knowledge
+        assert attack.run(system.hosted) == {}
+
+    def test_mixed_tags_not_attacked(self, healthcare_doc, healthcare_scs):
+        """Tags with plaintext occurrences are already public; skip them."""
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="opt"
+        )
+        attack = TagDistributionAttack(tag_histogram(healthcare_doc))
+        cracked = attack.run(system.hosted)
+        for tag in cracked:
+            assert tag in system.hosted.encrypted_tags
+            assert tag not in system.hosted.plaintext_keys
+
+    def test_uniform_tag_counts_resist(self):
+        """Equal tag frequencies leave the attacker guessing.
+
+        This is the shape a tag-padding countermeasure would aim for —
+        the obvious mitigation to the paper's open problem.
+        """
+        from repro.core.constraints import parse_constraints
+        from repro.xmldb.parser import parse_document
+
+        doc = parse_document(
+            "<r>"
+            "<a><x>1</x></a><a><x>2</x></a>"
+            "<b><y>3</y></b><b><y>4</y></b>"
+            "</r>"
+        )
+        constraints = parse_constraints(["//a", "//b"])
+        system = SecureXMLSystem.host(doc, constraints, scheme="opt")
+        attack = TagDistributionAttack(tag_histogram(doc))
+        # a/b/x/y all occur twice: no unique count, nothing cracks.
+        assert attack.run(system.hosted) == {}

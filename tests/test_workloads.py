@@ -1,0 +1,138 @@
+"""Tests for the workload generators and query classes."""
+
+import pytest
+
+from repro.workloads.healthcare import (
+    EXAMPLE_QUERY,
+    build_healthcare_database,
+    healthcare_constraints,
+)
+from repro.workloads.nasa import build_nasa_database, nasa_constraints
+from repro.workloads.queries import QueryWorkload
+from repro.workloads.xmark import build_xmark_database, xmark_constraints
+from repro.xmldb.serializer import serialize
+from repro.xmldb.stats import depth, tag_histogram, value_frequencies
+from repro.xpath.evaluator import evaluate
+
+
+class TestHealthcare:
+    def test_matches_figure_2(self):
+        doc = build_healthcare_database()
+        assert [n.text_value() for n in evaluate(doc, "//pname")] == [
+            "Betty",
+            "Matt",
+        ]
+        assert len(evaluate(doc, "//treat")) == 3
+        assert len(evaluate(doc, "//policy#")) == 4
+        coverages = [a.value for a in evaluate(doc, "//insurance/@coverage")]
+        assert coverages == ["1000000", "10000"]
+
+    def test_diarrhea_repeats(self):
+        doc = build_healthcare_database()
+        frequencies = value_frequencies(doc)["disease"]
+        assert frequencies["diarrhea"] == 2
+        assert frequencies["leukemia"] == 1
+
+    def test_constraints_parse(self):
+        constraints = healthcare_constraints()
+        assert len(constraints) == 4
+        assert sum(1 for c in constraints if c.is_association) == 3
+
+    def test_example_query_answer(self):
+        doc = build_healthcare_database()
+        values = [n.text_value() for n in evaluate(doc, EXAMPLE_QUERY)]
+        assert sorted(values) == ["276543", "763895"]
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "builder,count_arg",
+        [(build_xmark_database, 20), (build_nasa_database, 15)],
+    )
+    def test_deterministic(self, builder, count_arg):
+        assert serialize(builder(count_arg, seed=5)) == serialize(
+            builder(count_arg, seed=5)
+        )
+
+    @pytest.mark.parametrize(
+        "builder", [build_xmark_database, build_nasa_database]
+    )
+    def test_seed_changes_content(self, builder):
+        assert serialize(builder(10, seed=1)) != serialize(builder(10, seed=2))
+
+    def test_xmark_scales_with_person_count(self):
+        small = build_xmark_database(10)
+        large = build_xmark_database(40)
+        assert large.size() > 3 * small.size()
+
+    def test_xmark_has_constraint_graph_tags(self, xmark_doc):
+        histogram = tag_histogram(xmark_doc)
+        for tag in ("name", "emailaddress", "income", "creditcard",
+                    "address", "profile", "age"):
+            assert histogram[tag] > 0, tag
+
+    def test_nasa_has_constraint_graph_tags(self, nasa_doc):
+        histogram = tag_histogram(nasa_doc)
+        for tag in ("initial", "last", "date", "publisher", "title", "city"):
+            assert histogram[tag] > 0, tag
+
+    def test_nasa_deeper_than_xmark(self, xmark_doc, nasa_doc):
+        # The NASA data's author nesting is the deep part of the paper's
+        # real dataset.
+        assert depth(nasa_doc) >= 6
+        assert depth(xmark_doc) >= 4
+
+    def test_constraints_bind(self, xmark_doc, nasa_doc):
+        for constraint in xmark_constraints():
+            if constraint.is_association:
+                assert constraint.endpoint_nodes(xmark_doc, 1)
+                assert constraint.endpoint_nodes(xmark_doc, 2)
+        for constraint in nasa_constraints():
+            if constraint.is_association:
+                assert constraint.endpoint_nodes(nasa_doc, 1)
+                assert constraint.endpoint_nodes(nasa_doc, 2)
+
+    def test_skewed_income_distribution(self, xmark_doc):
+        frequencies = value_frequencies(xmark_doc)["income"]
+        counts = sorted(frequencies.values(), reverse=True)
+        assert counts[0] >= 2  # repeated salary bands for OPESS to flatten
+
+
+class TestQueryWorkload:
+    @pytest.fixture(scope="class")
+    def workload(self, nasa_doc):
+        return QueryWorkload(nasa_doc, seed=3, per_class=10)
+
+    def test_three_classes_of_ten(self, workload):
+        by_class = workload.by_class()
+        assert set(by_class) == {"Qs", "Qm", "Ql"}
+        assert all(len(queries) == 10 for queries in by_class.values())
+
+    def test_deterministic(self, nasa_doc):
+        first = QueryWorkload(nasa_doc, seed=3).by_class()
+        second = QueryWorkload(nasa_doc, seed=3).by_class()
+        assert first == second
+
+    def test_qs_outputs_root_children(self, workload, nasa_doc):
+        for query in workload.qs():
+            results = evaluate(nasa_doc, query)
+            assert results
+            assert all(node.depth == 1 for node in results)
+
+    def test_qm_outputs_mid_level(self, workload, nasa_doc):
+        target = max(1, depth(nasa_doc) // 2)
+        for query in workload.qm():
+            for node in evaluate(nasa_doc, query):
+                assert node.depth == target
+
+    def test_ql_outputs_leaves(self, workload, nasa_doc):
+        from repro.xmldb.node import Attribute
+
+        for query in workload.ql():
+            for node in evaluate(nasa_doc, query):
+                assert isinstance(node, Attribute) or node.is_leaf_element
+
+    def test_queries_parse_and_answer(self, workload, nasa_doc):
+        for queries in workload.by_class().values():
+            for query in queries:
+                evaluate(nasa_doc, query)  # must not raise

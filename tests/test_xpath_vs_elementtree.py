@@ -1,0 +1,113 @@
+"""Cross-check the XPath oracle against ``xml.etree.ElementTree``.
+
+Our evaluator is the correctness reference for the whole system, so it
+deserves an external referee: on the XPath fragment both engines support
+(child chains, ``//`` descents, wildcards, ``[tag='value']`` and
+``[@attr='value']`` filters), hypothesis-generated documents and queries
+must produce identical answer multisets.
+"""
+
+import xml.etree.ElementTree as ET
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmldb.builder import TreeBuilder
+from repro.xmldb.node import Element
+from repro.xmldb.serializer import serialize
+from repro.xpath.evaluator import evaluate
+
+_TAGS = ["aa", "bb", "cc"]
+_LEAVES = ["xx", "yy"]
+_VALUES = ["1", "2", "three"]
+
+
+@st.composite
+def documents(draw):
+    builder = TreeBuilder("root")
+    for _ in range(draw(st.integers(1, 4))):
+        with builder.element(draw(st.sampled_from(_TAGS))):
+            if draw(st.booleans()):
+                builder.attribute("k", draw(st.sampled_from(_VALUES)))
+            for _ in range(draw(st.integers(0, 3))):
+                builder.leaf(
+                    draw(st.sampled_from(_LEAVES)),
+                    draw(st.sampled_from(_VALUES)),
+                )
+            if draw(st.booleans()):
+                with builder.element(draw(st.sampled_from(_TAGS))):
+                    builder.leaf(
+                        draw(st.sampled_from(_LEAVES)),
+                        draw(st.sampled_from(_VALUES)),
+                    )
+    return builder.document()
+
+
+@st.composite
+def queries(draw):
+    kind = draw(st.integers(0, 5))
+    tag = draw(st.sampled_from(_TAGS))
+    leaf = draw(st.sampled_from(_LEAVES))
+    value = draw(st.sampled_from(_VALUES))
+    if kind == 0:
+        return f".//{leaf}"
+    if kind == 1:
+        return f"./{tag}"
+    if kind == 2:
+        return f"./{tag}/{leaf}"
+    if kind == 3:
+        return f".//{tag}[{leaf}='{value}']"
+    if kind == 4:
+        return f"./{tag}[@k='{value}']"
+    return f"./*/{leaf}"
+
+
+def _our_answers(document, query):
+    # ElementTree anchors './' at the root element; our absolute queries
+    # anchor at the virtual document node, so prefix the root element.
+    translated = query.replace("./", f"/{document.root.tag}/", 1)
+    if translated.startswith(f"/{document.root.tag}//"):
+        pass
+    results = evaluate(document, translated)
+    return sorted(
+        serialize(node) for node in results if isinstance(node, Element)
+    )
+
+
+def _et_answers(document, query):
+    tree = ET.fromstring(serialize(document))
+    return sorted(
+        ET.tostring(element, encoding="unicode").strip()
+        for element in tree.findall(query)
+    )
+
+
+def _normalize(xml_strings):
+    # Align self-closing form (ET writes "<a />"), then re-sort: the
+    # normalization can change relative order.
+    return sorted(
+        s.replace(" />", "/>").replace(" ", "") for s in xml_strings
+    )
+
+
+class TestAgainstElementTree:
+    @given(documents(), st.lists(queries(), min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_answers_agree(self, document, query_list):
+        for query in query_list:
+            ours = _normalize(_our_answers(document, query))
+            theirs = _normalize(_et_answers(document, query))
+            assert ours == theirs, query
+
+    def test_known_disagreement_free_examples(self):
+        builder = TreeBuilder("root")
+        with builder.element("aa"):
+            builder.attribute("k", "1")
+            builder.leaf("xx", "2")
+        with builder.element("aa"):
+            builder.leaf("xx", "three")
+        document = builder.document()
+        for query in (".//xx", "./aa", ".//aa[xx='2']", "./aa[@k='1']"):
+            assert _normalize(_our_answers(document, query)) == _normalize(
+                _et_answers(document, query)
+            ), query
