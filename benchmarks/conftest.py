@@ -23,6 +23,9 @@ SCHEMES = ("top", "sub", "app", "opt")
 XMARK_PERSONS = int(os.environ.get("REPRO_XMARK_PERSONS", "100"))
 NASA_DATASETS = int(os.environ.get("REPRO_NASA_DATASETS", "70"))
 QUERIES_PER_CLASS = int(os.environ.get("REPRO_QUERIES_PER_CLASS", "6"))
+#: measurement trials per benchmark point — the paper's protocol uses 5
+#: (trimmed mean); CI sets REPRO_BENCH_TRIALS=1 to run the suite fast
+BENCH_TRIALS = max(1, int(os.environ.get("REPRO_BENCH_TRIALS", "5")))
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -35,6 +38,12 @@ def write_result(name: str, text: str) -> None:
         handle.write(text + "\n")
     print()
     print(text)
+
+
+@pytest.fixture(scope="session")
+def bench_trials() -> int:
+    """Trials per measurement (REPRO_BENCH_TRIALS, default 5)."""
+    return BENCH_TRIALS
 
 
 @pytest.fixture(scope="session")

@@ -10,9 +10,10 @@ figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.system import QueryTrace, SecureXMLSystem
+from repro.perf import counters
 
 
 @dataclass
@@ -27,6 +28,9 @@ class QueryClassResult:
     transfer_bytes: float
     blocks: float
     query_count: int
+    #: perf-counter deltas accumulated while this cell ran (cache
+    #: traffic, blocks decrypted, key expansions — see repro.perf)
+    perf: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_s(self) -> float:
@@ -67,6 +71,7 @@ def run_query_class(
     naive: bool = False,
 ) -> QueryClassResult:
     """Run a query set and return the averaged stage breakdown."""
+    before = counters.snapshot()
     traces: list[QueryTrace] = []
     for query in queries:
         if naive:
@@ -85,7 +90,23 @@ def run_query_class(
         transfer_bytes=averaged["bytes"],
         blocks=averaged["blocks"],
         query_count=len(queries),
+        perf=counters.delta_since(before),
     )
+
+
+def counter_report(delta: dict[str, int]) -> str:
+    """Render nonzero perf-counter deltas as a fixed-width table.
+
+    Companion to the stage tables: where those say how long a stage
+    took, this says what the hot paths actually did (blocks decrypted,
+    key expansions) and how the caches traded (hits vs. misses).
+    """
+    rows = [
+        [name, value] for name, value in sorted(delta.items()) if value
+    ]
+    if not rows:
+        return "perf counters: all zero"
+    return format_table(["counter", "count"], rows, title="perf counters")
 
 
 def saving_ratio(baseline_seconds: float, improved_seconds: float) -> float:

@@ -17,9 +17,10 @@ from dataclasses import dataclass
 from repro.core.decoy import remove_decoys
 from repro.core.encryptor import HostedDatabase
 from repro.core.server import Fragment, ServerResponse
-from repro.core.translate import QueryTranslator, TranslatedQuery
+from repro.core.translate import PlanCache, QueryTranslator, TranslatedQuery
 from repro.crypto.keyring import ClientKeyring
 from repro.crypto.modes import cbc_decrypt
+from repro.perf import counters
 from repro.xmldb.node import (
     Attribute,
     Document,
@@ -67,10 +68,23 @@ def canonical_node(node: Node) -> str:
 
 
 class Client:
-    """The data owner's runtime state after hosting."""
+    """The data owner's runtime state after hosting.
 
-    def __init__(self, keyring: ClientKeyring, hosted: HostedDatabase) -> None:
+    ``enable_cache=False`` turns off the translated-plan and decrypted-
+    block caches (the seed-equivalent behaviour, kept for the hot-path
+    benchmarks and ablations).  Both caches are gated on the hosted
+    database's scheme epoch, so an incremental update invalidates them
+    without any call into the client.
+    """
+
+    def __init__(
+        self,
+        keyring: ClientKeyring,
+        hosted: HostedDatabase,
+        enable_cache: bool = True,
+    ) -> None:
         self._keyring = keyring
+        self._hosted = hosted
         self._root_tag = hosted.root_tag
         self._secure = hosted.secure
         self._translator = QueryTranslator(
@@ -81,12 +95,39 @@ class Client:
             field_plans=dict(hosted.field_plans),
             field_tokens=dict(hosted.field_tokens),
         )
+        self._plan_cache: PlanCache | None = (
+            PlanCache() if enable_cache else None
+        )
+        self._block_cache: dict[int, Element] | None = (
+            {} if enable_cache else None
+        )
+        self._tree_cache: dict[str, Element] | None = (
+            {} if enable_cache else None
+        )
+        self._cache_epoch = hosted.epoch
 
     # ------------------------------------------------------------------
     # Query translation (§6.1)
     # ------------------------------------------------------------------
     def translate(self, query: "str | ast.LocationPath") -> TranslatedQuery:
-        """Translate a query; raises UnsupportedQuery for the naive path."""
+        """Translate a query; raises UnsupportedQuery for the naive path.
+
+        String queries hit the plan cache first: a repeated XPath under
+        an unchanged scheme epoch reuses the previously translated
+        ``Qs`` without re-deriving tokens or key ranges.
+        """
+        if self._plan_cache is not None and isinstance(query, str):
+            epoch = self._hosted.epoch
+            plan = self._plan_cache.get(query, epoch)
+            if plan is None:
+                plan = self._translate_uncached(query)
+                self._plan_cache.put(query, epoch, plan)
+            return plan
+        return self._translate_uncached(query)
+
+    def _translate_uncached(
+        self, query: "str | ast.LocationPath"
+    ) -> TranslatedQuery:
         path = query if isinstance(query, ast.LocationPath) else parse_xpath(query)
         pattern = compile_pattern(path)
         return self._translator.translate(pattern)
@@ -101,14 +142,48 @@ class Client:
         ``EncryptedData`` payloads are decrypted and spliced in, and decoys
         are stripped.
         """
-        decrypted = []
-        for fragment in response.fragments:
-            root = parse_fragment(fragment.xml)
-            root = self._resolve_encrypted_root(root)
-            self._decrypt_placeholders(root)
-            remove_decoys(root)
-            decrypted.append((fragment, root))
-        return decrypted
+        return [
+            (fragment, self._fragment_tree(fragment.xml))
+            for fragment in response.fragments
+        ]
+
+    def _fragment_tree(self, xml: str) -> Element:
+        """Decrypted plaintext tree for one shipped fragment, via the cache.
+
+        Keyed by the fragment's serialized text: the tree is a pure
+        function of that text and the client's keys, and the server's own
+        fragment cache hands back the identical string object for a
+        repeated node, so the dict lookup reuses Python's cached string
+        hash.  Cached trees are pristine; callers get deep clones because
+        assembly re-parents them.
+        """
+        if self._tree_cache is None:
+            return self._build_fragment_tree(xml)
+        self._check_epoch()
+        cached = self._tree_cache.get(xml)
+        if cached is not None:
+            counters.tree_cache_hits += 1
+            return cached.clone()
+        counters.tree_cache_misses += 1
+        tree = self._build_fragment_tree(xml)
+        self._tree_cache[xml] = tree
+        return tree.clone()
+
+    def _build_fragment_tree(self, xml: str) -> Element:
+        root = parse_fragment(xml)
+        root = self._resolve_encrypted_root(root)
+        self._decrypt_placeholders(root)
+        remove_decoys(root)
+        return root
+
+    def _check_epoch(self) -> None:
+        """Flush the decrypted caches when the scheme epoch moved on."""
+        if self._hosted.epoch != self._cache_epoch:
+            if self._block_cache is not None:
+                self._block_cache.clear()
+            if self._tree_cache is not None:
+                self._tree_cache.clear()
+            self._cache_epoch = self._hosted.epoch
 
     def _resolve_encrypted_root(self, root: Element) -> Element:
         if root.tag != ENCRYPTED_DATA_TAG:
@@ -119,6 +194,27 @@ class Client:
         return self._decrypt_block(int(attribute.value), payload)
 
     def _decrypt_block(self, block_id: int, payload: bytes) -> Element:
+        """Decrypt one block to its plaintext subtree, through the cache.
+
+        The cache keeps a pristine parsed copy per block id (decoys still
+        in place — callers strip them from their own copy) and hands out
+        deep clones, since the pipeline mutates the returned tree.  A
+        scheme-epoch change flushes the whole cache: update operations
+        re-encrypt or remove payloads under the *same* block ids.
+        """
+        if self._block_cache is None:
+            return self._decrypt_block_uncached(block_id, payload)
+        self._check_epoch()
+        cached = self._block_cache.get(block_id)
+        if cached is not None:
+            counters.block_cache_hits += 1
+            return cached.clone()
+        counters.block_cache_misses += 1
+        subtree = self._decrypt_block_uncached(block_id, payload)
+        self._block_cache[block_id] = subtree
+        return subtree.clone()
+
+    def _decrypt_block_uncached(self, block_id: int, payload: bytes) -> Element:
         iv = self._keyring.block_iv(block_id if self._secure else 0)
         plaintext = cbc_decrypt(self._keyring.block_cipher, iv, payload)
         return parse_fragment(plaintext.decode("utf-8"))

@@ -142,6 +142,11 @@ class StructuralIndex:
     block_table: dict[int, Interval]
     #: all entries, sorted by interval low bound (the laminar forest)
     entries: list[IndexEntry]
+    #: lazily built per-tag sorted low-bound arrays (static-data cache for
+    #: the descendant joins; dropped wholesale on :meth:`invalidate_caches`)
+    _lows_by_key: dict[str, list[float]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def lookup(self, key: str) -> list[IndexEntry]:
         """Intervals registered under a (translated) tag."""
@@ -149,6 +154,35 @@ class StructuralIndex:
 
     def all_entries(self) -> list[IndexEntry]:
         return self.entries
+
+    # ------------------------------------------------------------------
+    # Static-data cache: per-tag sorted interval arrays
+    # ------------------------------------------------------------------
+    def sorted_lows(self, key: str) -> list[float]:
+        """Sorted interval low bounds of a tag's entries, computed once.
+
+        The descendant-axis join probes these arrays with binary search
+        on every query; building them per query re-sorted the same
+        static data over and over, so the index now owns one array per
+        tag, built on first use and dropped on mutation (see
+        :meth:`invalidate_caches`).
+        """
+        from repro.perf import counters
+
+        cached = self._lows_by_key.get(key)
+        if cached is not None:
+            counters.interval_cache_hits += 1
+            return cached
+        counters.interval_cache_misses += 1
+        lows = sorted(
+            entry.interval.low for entry in self.table.get(key, [])
+        )
+        self._lows_by_key[key] = lows
+        return lows
+
+    def invalidate_caches(self) -> None:
+        """Drop the static-data caches (called on every epoch bump)."""
+        self._lows_by_key.clear()
 
     def block_of(self, entry: IndexEntry) -> Optional[int]:
         """Resolve which encryption block an entry falls inside, if any.

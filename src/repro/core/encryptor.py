@@ -67,6 +67,25 @@ class HostedDatabase:
     #: Client-side knowledge retained to support the incremental-update
     #: extension (field-granular value-index rebuilds).
     occurrences: dict[str, list[tuple[str, int]]] = field(default_factory=dict)
+    #: Scheme epoch: bumped on every mutation of the hosted state.  All
+    #: derived caches — query plans, server fragments, client-decrypted
+    #: blocks, structural-index interval arrays — are keyed or gated on
+    #: it, so one integer compare invalidates every layer at once.
+    epoch: int = 0
+
+    def bump_epoch(self) -> None:
+        """Advance the scheme epoch after a hosted-state mutation.
+
+        Called by :mod:`repro.core.updates` once per applied update; the
+        structural index's static caches are dropped eagerly, the
+        epoch-keyed caches (plans, fragments, decrypted blocks) expire
+        lazily on their next epoch check.
+        """
+        from repro.perf import counters
+
+        self.epoch += 1
+        self.structural_index.invalidate_caches()
+        counters.epoch_invalidations += 1
 
     def hosted_size_bytes(self) -> int:
         """Size of the serialized hosted database, |E(D)|."""

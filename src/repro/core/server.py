@@ -21,6 +21,7 @@ from repro.core.encryptor import HostedDatabase
 from repro.core.opess import ValueIndex
 from repro.core.structural_join import MatchResult, match_pattern
 from repro.core.translate import TranslatedQuery
+from repro.perf import counters
 from repro.xmldb.node import Attribute, Element, EncryptedBlockNode, Node
 from repro.xmldb.serializer import serialize
 
@@ -53,19 +54,40 @@ class ServerResponse:
 
 
 class Server:
-    """Query executor over the hosted database and metadata."""
+    """Query executor over the hosted database and metadata.
 
-    def __init__(self, hosted: HostedDatabase) -> None:
+    The server keeps a *fragment cache*: the serialized XML and ancestor
+    path of every subtree it has shipped, keyed by the hosted node's id.
+    Serialization touches only data the server already stores in the
+    clear (ciphertext payloads and plaintext structure), so caching it
+    changes nothing about what an attacker sees — it only stops the
+    server re-serializing the same subtree for every repeated query.
+    The cache is invalidated by scheme-epoch comparison against the
+    hosted database, the hook the update engine drives.
+    """
+
+    def __init__(self, hosted: HostedDatabase, enable_cache: bool = True) -> None:
+        self._hosted = hosted
         self._hosted_root = hosted.hosted_root
         self._structure: StructuralIndex = hosted.structural_index
         self._values: ValueIndex = hosted.value_index
         self._placeholders = hosted.placeholders
+        self._enable_cache = enable_cache
+        self._fragment_cache: dict[int, Fragment] = {}
+        self._cache_epoch = hosted.epoch
+
+    def _check_epoch(self) -> None:
+        """Flush the fragment cache when the hosted state has mutated."""
+        if self._hosted.epoch != self._cache_epoch:
+            self._fragment_cache.clear()
+            self._cache_epoch = self._hosted.epoch
 
     # ------------------------------------------------------------------
     # Normal path: §6.2 steps 1-3
     # ------------------------------------------------------------------
     def answer(self, query: TranslatedQuery) -> ServerResponse:
         """Evaluate a translated query and assemble the fragments."""
+        self._check_epoch()
         result: MatchResult = match_pattern(query, self._structure, self._values)
         roots = self._fragment_roots(result.ship_entries)
         fragments = [self._make_fragment(node) for node in roots]
@@ -121,11 +143,20 @@ class Server:
         return node
 
     def _make_fragment(self, node: Node) -> Fragment:
+        if self._enable_cache:
+            cached = self._fragment_cache.get(node.node_id)
+            if cached is not None:
+                counters.fragment_cache_hits += 1
+                return cached
+            counters.fragment_cache_misses += 1
         path = []
         for ancestor in reversed(list(node.ancestors())):
             assert isinstance(ancestor, Element)
             path.append((ancestor.tag, ancestor.node_id))
-        return Fragment(ancestor_path=tuple(path), xml=serialize(node))
+        fragment = Fragment(ancestor_path=tuple(path), xml=serialize(node))
+        if self._enable_cache:
+            self._fragment_cache[node.node_id] = fragment
+        return fragment
 
     # ------------------------------------------------------------------
     # Observable state (what an attacker on the server sees)

@@ -150,13 +150,32 @@ class _Matcher:
                 if any(id(sub) in match_ids for sub in entry.children)
             ]
         if axis in ("descendant", "attribute-descendant"):
-            lows = sorted(match.interval.low for match in child_matches)
+            lows = self._descendant_lows(child, child_matches)
             return [
                 entry
                 for entry in candidates
                 if _has_low_inside(lows, entry)
             ]
         raise ValueError(f"unexpected pattern axis {axis!r}")
+
+    def _descendant_lows(
+        self, child: TranslatedNode, child_matches: list[IndexEntry]
+    ) -> list[float]:
+        """Sorted low bounds of the child's match set.
+
+        A leaf pattern node with a single lookup key and no value
+        constraint matches exactly its per-tag entry list, so the
+        structural index's precomputed sorted array is used verbatim;
+        anything narrower (constrained, multi-key, or join-filtered)
+        falls back to sorting the actual match set.
+        """
+        if (
+            not child.children
+            and not child.has_value_constraint
+            and len(child.keys) == 1
+        ):
+            return self._structure.sorted_lows(child.keys[0])
+        return sorted(match.interval.low for match in child_matches)
 
     # ------------------------------------------------------------------
     # Top-down phase: keep only entries reachable from surviving parents

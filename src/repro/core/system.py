@@ -104,6 +104,7 @@ class SecureXMLSystem:
         channel: Channel,
         hosting_trace: HostingTrace,
         keyring: ClientKeyring,
+        fast_path: bool = True,
     ) -> None:
         self.client = client
         self.server = server
@@ -112,7 +113,9 @@ class SecureXMLSystem:
         self.channel = channel
         self.hosting_trace = hosting_trace
         self.last_trace: QueryTrace | None = None
+        self.last_batch_traces: list[QueryTrace] = []
         self._keyring = keyring
+        self._fast_path = fast_path
 
     # ------------------------------------------------------------------
     # Hosting
@@ -126,6 +129,7 @@ class SecureXMLSystem:
         master_key: bytes = _DEFAULT_MASTER_KEY,
         channel: Channel | None = None,
         secure: bool = True,
+        fast_path: bool = True,
     ) -> "SecureXMLSystem":
         """Encrypt ``document`` under the given scheme and stand up a system.
 
@@ -133,7 +137,10 @@ class SecureXMLSystem:
         ``"sub"``, ``"top"``), the §4.1 strawman ``"leaf"``, or a prebuilt
         :class:`EncryptionScheme`.  ``secure=False`` hosts without decoys
         and with deterministic block encryption — insecure by design, for
-        the attack demonstrations only.
+        the attack demonstrations only.  ``fast_path=False`` disables the
+        T-table AES and every query cache (seed-equivalent behaviour,
+        kept as the baseline for the hot-path benchmarks); the hosted
+        bytes are identical either way.
         """
         from repro.xmldb.serializer import serialize
 
@@ -141,7 +148,7 @@ class SecureXMLSystem:
             scheme_obj = build_scheme(document, constraints, scheme)
         else:
             scheme_obj = scheme
-        keyring = ClientKeyring(master_key)
+        keyring = ClientKeyring(master_key, fast_aes=fast_path)
 
         started = time.perf_counter()
         hosted = host_database(document, scheme_obj, keyring, secure=secure)
@@ -159,13 +166,14 @@ class SecureXMLSystem:
             value_index_entries=hosted.value_index.total_entries(),
         )
         return cls(
-            client=Client(keyring, hosted),
-            server=Server(hosted),
+            client=Client(keyring, hosted, enable_cache=fast_path),
+            server=Server(hosted, enable_cache=fast_path),
             hosted=hosted,
             scheme=scheme_obj,
             channel=channel or Channel(),
             hosting_trace=hosting_trace,
             keyring=keyring,
+            fast_path=fast_path,
         )
 
     # ------------------------------------------------------------------
@@ -199,6 +207,27 @@ class SecureXMLSystem:
         trace.candidate_counts = response.candidate_counts
 
         return self._finish(xpath, response, trace)
+
+    def execute_many(self, xpaths: list[str]) -> list[QueryAnswer]:
+        """Answer a batch of queries through the secure pipeline.
+
+        The batched entry point is where the hot-path caches pay off:
+        within one batch (and across batches on the same system),
+        repeated XPath strings reuse translated plans, repeated ship
+        nodes reuse serialized fragments, and repeated blocks skip
+        decryption entirely.  Per-query traces for the whole batch are
+        kept in :attr:`last_batch_traces`, in input order (``last_trace``
+        ends up holding the final query's trace, as with single
+        :meth:`query` calls).
+        """
+        answers: list[QueryAnswer] = []
+        traces: list[QueryTrace] = []
+        for xpath in xpaths:
+            answers.append(self.query(xpath))
+            assert self.last_trace is not None
+            traces.append(self.last_trace)
+        self.last_batch_traces = traces
+        return answers
 
     def aggregate(
         self, xpath: str, func: str, mode: str = "exact"
@@ -288,7 +317,9 @@ class SecureXMLSystem:
 
     def _refresh_client(self) -> None:
         """Rebuild the client translator after hosted-state mutation."""
-        self.client = Client(self._keyring, self.hosted)
+        self.client = Client(
+            self._keyring, self.hosted, enable_cache=self._fast_path
+        )
 
     def naive_query(self, xpath: str) -> QueryAnswer:
         """Answer a query with the §7.3 naive baseline (ship everything)."""

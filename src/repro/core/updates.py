@@ -122,6 +122,7 @@ class UpdateEngine:
                     hosted_node=new_element,
                 )
             )
+        self._hosted.bump_epoch()
 
     # ------------------------------------------------------------------
     # Delete
@@ -136,6 +137,7 @@ class UpdateEngine:
         """
         if target.block_id is not None:
             self._delete_block(target.block_id)
+            self._hosted.bump_epoch()
             return
         node = target.hosted_node
         if node is None or node.parent is None:
@@ -146,6 +148,7 @@ class UpdateEngine:
                 self._delete_block(descendant.block_id)
         node.detach()
         self._remove_entries_inside(target.interval, include_self=True)
+        self._hosted.bump_epoch()
 
     # ------------------------------------------------------------------
     # Update value
@@ -161,6 +164,7 @@ class UpdateEngine:
             assert isinstance(text, Text)
             text.value = new_value
             target.plaintext_value = new_value
+            self._hosted.bump_epoch()
             return
 
         # Encrypted leaf: only single-leaf blocks can be value-updated
@@ -183,6 +187,7 @@ class UpdateEngine:
         placeholder = self._hosted.placeholders[block_id]
         placeholder.payload = payload
         self._add_occurrence(tag, new_value, block_id)
+        self._hosted.bump_epoch()
 
     # ------------------------------------------------------------------
     # Target resolution helpers (used by the system façade)

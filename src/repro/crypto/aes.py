@@ -6,9 +6,37 @@ derived programmatically from its definition — multiplicative inverse in
 GF(2⁸) followed by the affine transform — rather than hard-coded, and the
 whole cipher is validated against the FIPS-197 Appendix C test vector in the
 test suite.
+
+Two equivalent code paths exist:
+
+* the **spec path** (:meth:`AES128.encrypt_block_spec` /
+  :meth:`AES128.decrypt_block_spec`, and :class:`ReferenceAES128`) — a
+  direct transcription of the FIPS-197 round functions over a 16-byte
+  state list, kept as the readable reference and the baseline for the
+  hot-path benchmarks;
+* the **T-table fast path** (:meth:`AES128.encrypt_block` /
+  :meth:`AES128.decrypt_block`) — the classic 32-bit-word formulation:
+  SubBytes+ShiftRows+MixColumns fused into four 256-entry word tables
+  (and the equivalent inverse cipher for decryption), so each round is
+  sixteen table lookups and word XORs instead of dozens of per-byte
+  loops.  The tables are built once at import *from* the spec-path field
+  arithmetic, and the property suite checks byte-identity of the two
+  paths on random keys and blocks.
+
+Key schedules are expanded exactly once per distinct key
+(:func:`_expand_key_cached`), and :func:`aes128_for_key` memoizes whole
+cipher objects so every consumer of the same derived key — hosting,
+query decryption, incremental updates — shares one instance.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
+from struct import Struct
+
+from repro.perf import counters
+
+_FOUR_WORDS = Struct(">IIII")
 
 
 def _gf_multiply(a: int, b: int) -> int:
@@ -79,8 +107,112 @@ _MUL = {
 _RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
 
 
+def _rotr8(word: int) -> int:
+    """Rotate a 32-bit word right by one byte."""
+    return ((word >> 8) | (word << 24)) & 0xFFFFFFFF
+
+
+def _build_round_tables() -> tuple[tuple[tuple[int, ...], ...], ...]:
+    """Build the encryption T-tables, decryption D-tables and the
+    InvMixColumns U-tables, all from the spec-path S-box and GF tables.
+
+    ``T0[x]`` is the MixColumns image of the column ``(S[x], 0, 0, 0)``;
+    ``U0[x]`` the InvMixColumns image of ``(x, 0, 0, 0)``; ``D0[x] =
+    U0[InvS[x]]`` fuses InvSubBytes with InvMixColumns (the equivalent
+    inverse cipher of FIPS-197 §5.3.5).  ``Ti``/``Ui``/``Di`` are byte
+    rotations of table 0, matching the other three column positions.
+    """
+    mul2, mul3 = _MUL[2], _MUL[3]
+    mul9, mul11, mul13, mul14 = _MUL[9], _MUL[11], _MUL[13], _MUL[14]
+    t0 = []
+    u0 = []
+    for x in range(256):
+        s = _SBOX[x]
+        t0.append((mul2[s] << 24) | (s << 16) | (s << 8) | mul3[s])
+        u0.append((mul14[x] << 24) | (mul9[x] << 16) | (mul13[x] << 8) | mul11[x])
+    d0 = [u0[_INV_SBOX[x]] for x in range(256)]
+    tables = []
+    for base in (t0, u0, d0):
+        family = [tuple(base)]
+        for _ in range(3):
+            family.append(tuple(_rotr8(word) for word in family[-1]))
+        tables.append(tuple(family))
+    return tuple(tables)
+
+
+(_ENC_T, _INV_MIX_U, _DEC_T) = _build_round_tables()
+(_T0, _T1, _T2, _T3) = _ENC_T
+(_U0, _U1, _U2, _U3) = _INV_MIX_U
+(_D0, _D1, _D2, _D3) = _DEC_T
+
+
+def _inv_mix_word(word: int) -> int:
+    """InvMixColumns over one 32-bit column word (used on round keys)."""
+    return (
+        _U0[(word >> 24) & 0xFF]
+        ^ _U1[(word >> 16) & 0xFF]
+        ^ _U2[(word >> 8) & 0xFF]
+        ^ _U3[word & 0xFF]
+    )
+
+
+@lru_cache(maxsize=4096)
+def _expand_key_cached(
+    key: bytes,
+) -> tuple[
+    tuple[tuple[int, ...], ...],
+    tuple[tuple[int, ...], ...],
+    tuple[tuple[int, ...], ...],
+]:
+    """FIPS-197 §5.2 key expansion, computed once per distinct key.
+
+    Returns ``(spec_round_keys, enc_schedule, dec_schedule)``:
+
+    * ``spec_round_keys`` — 11 rounds × 16 bytes, for the spec path;
+    * ``enc_schedule`` — 11 rounds × 4 big-endian words, for the T-table
+      encryptor;
+    * ``dec_schedule`` — the equivalent-inverse-cipher schedule: round
+      keys in reverse order with InvMixColumns applied to the nine inner
+      ones, for the D-table decryptor.
+    """
+    counters.key_expansions += 1
+    words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+    for i in range(4, 44):
+        word = list(words[i - 1])
+        if i % 4 == 0:
+            word = word[1:] + word[:1]                     # RotWord
+            word = [_SBOX[b] for b in word]                # SubWord
+            word[0] ^= _RCON[i // 4 - 1]
+        words.append([w ^ p for w, p in zip(word, words[i - 4])])
+
+    spec_rounds = []
+    enc_schedule = []
+    for round_index in range(11):
+        round_words = words[round_index * 4 : round_index * 4 + 4]
+        flat: list[int] = []
+        for word in round_words:
+            flat.extend(word)
+        spec_rounds.append(tuple(flat))
+        enc_schedule.append(
+            tuple((w[0] << 24) | (w[1] << 16) | (w[2] << 8) | w[3] for w in round_words)
+        )
+
+    dec_schedule = [enc_schedule[10]]
+    for round_index in range(9, 0, -1):
+        dec_schedule.append(
+            tuple(_inv_mix_word(word) for word in enc_schedule[round_index])
+        )
+    dec_schedule.append(enc_schedule[0])
+    return tuple(spec_rounds), tuple(enc_schedule), tuple(dec_schedule)
+
+
 class AES128:
-    """AES with a 128-bit key: 10 rounds over a 4×4 byte state."""
+    """AES with a 128-bit key: 10 rounds over a 4×4 byte state.
+
+    ``encrypt_block``/``decrypt_block`` run the T-table fast path; the
+    ``*_spec`` variants run the readable FIPS-197 transcription.  Both
+    produce identical bytes for every key and block.
+    """
 
     BLOCK_SIZE = 16
     KEY_SIZE = 16
@@ -88,36 +220,25 @@ class AES128:
     def __init__(self, key: bytes) -> None:
         if len(key) != self.KEY_SIZE:
             raise ValueError("AES-128 requires a 16-byte key")
-        self._round_keys = self._expand_key(bytes(key))
+        spec_rounds, enc_schedule, dec_schedule = _expand_key_cached(bytes(key))
+        self._round_keys = spec_rounds
+        self._enc_schedule = enc_schedule
+        self._dec_schedule = dec_schedule
 
     # ------------------------------------------------------------------
-    # Key schedule
+    # Key schedule (spec form; retained for the reference path)
     # ------------------------------------------------------------------
     @staticmethod
     def _expand_key(key: bytes) -> list[list[int]]:
         """FIPS-197 §5.2 key expansion to 11 round keys of 16 bytes each."""
-        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
-        for i in range(4, 44):
-            word = list(words[i - 1])
-            if i % 4 == 0:
-                word = word[1:] + word[:1]                     # RotWord
-                word = [_SBOX[b] for b in word]                # SubWord
-                word[0] ^= _RCON[i // 4 - 1]
-            words.append([w ^ p for w, p in zip(word, words[i - 4])])
-        round_keys = []
-        for round_index in range(11):
-            flat: list[int] = []
-            for word in words[round_index * 4 : round_index * 4 + 4]:
-                flat.extend(word)
-            round_keys.append(flat)
-        return round_keys
+        return [list(round_key) for round_key in _expand_key_cached(bytes(key))[0]]
 
     # ------------------------------------------------------------------
     # Round transformations (state is a flat list of 16 bytes,
     # column-major as in the spec: state[row + 4*col]).
     # ------------------------------------------------------------------
     @staticmethod
-    def _add_round_key(state: list[int], round_key: list[int]) -> None:
+    def _add_round_key(state: list[int], round_key: "tuple[int, ...] | list[int]") -> None:
         for i in range(16):
             state[i] ^= round_key[i]
 
@@ -163,10 +284,10 @@ class AES128:
             state[col + 3] = mul11[a0] ^ mul13[a1] ^ mul9[a2] ^ mul14[a3]
 
     # ------------------------------------------------------------------
-    # Public block interface
+    # Spec path (direct FIPS-197 transcription)
     # ------------------------------------------------------------------
-    def encrypt_block(self, plaintext: bytes) -> bytes:
-        """Encrypt exactly one 16-byte block."""
+    def encrypt_block_spec(self, plaintext: bytes) -> bytes:
+        """Encrypt one block with the readable reference round functions."""
         if len(plaintext) != self.BLOCK_SIZE:
             raise ValueError("plaintext block must be 16 bytes")
         state = list(plaintext)
@@ -181,8 +302,8 @@ class AES128:
         self._add_round_key(state, self._round_keys[10])
         return bytes(state)
 
-    def decrypt_block(self, ciphertext: bytes) -> bytes:
-        """Decrypt exactly one 16-byte block."""
+    def decrypt_block_spec(self, ciphertext: bytes) -> bytes:
+        """Decrypt one block with the readable reference round functions."""
         if len(ciphertext) != self.BLOCK_SIZE:
             raise ValueError("ciphertext block must be 16 bytes")
         state = list(ciphertext)
@@ -196,3 +317,93 @@ class AES128:
         self._sub_bytes(state, _INV_SBOX)
         self._add_round_key(state, self._round_keys[0])
         return bytes(state)
+
+    # ------------------------------------------------------------------
+    # T-table fast path (public block interface)
+    # ------------------------------------------------------------------
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(plaintext) != self.BLOCK_SIZE:
+            raise ValueError("plaintext block must be 16 bytes")
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        schedule = self._enc_schedule
+        w0, w1, w2, w3 = _FOUR_WORDS.unpack(plaintext)
+        k0, k1, k2, k3 = schedule[0]
+        w0 ^= k0
+        w1 ^= k1
+        w2 ^= k2
+        w3 ^= k3
+        for k0, k1, k2, k3 in schedule[1:10]:
+            n0 = t0[w0 >> 24] ^ t1[(w1 >> 16) & 255] ^ t2[(w2 >> 8) & 255] ^ t3[w3 & 255] ^ k0
+            n1 = t0[w1 >> 24] ^ t1[(w2 >> 16) & 255] ^ t2[(w3 >> 8) & 255] ^ t3[w0 & 255] ^ k1
+            n2 = t0[w2 >> 24] ^ t1[(w3 >> 16) & 255] ^ t2[(w0 >> 8) & 255] ^ t3[w1 & 255] ^ k2
+            n3 = t0[w3 >> 24] ^ t1[(w0 >> 16) & 255] ^ t2[(w1 >> 8) & 255] ^ t3[w2 & 255] ^ k3
+            w0, w1, w2, w3 = n0, n1, n2, n3
+        sbox = _SBOX
+        k0, k1, k2, k3 = schedule[10]
+        return _FOUR_WORDS.pack(
+            ((sbox[w0 >> 24] << 24) | (sbox[(w1 >> 16) & 255] << 16)
+             | (sbox[(w2 >> 8) & 255] << 8) | sbox[w3 & 255]) ^ k0,
+            ((sbox[w1 >> 24] << 24) | (sbox[(w2 >> 16) & 255] << 16)
+             | (sbox[(w3 >> 8) & 255] << 8) | sbox[w0 & 255]) ^ k1,
+            ((sbox[w2 >> 24] << 24) | (sbox[(w3 >> 16) & 255] << 16)
+             | (sbox[(w0 >> 8) & 255] << 8) | sbox[w1 & 255]) ^ k2,
+            ((sbox[w3 >> 24] << 24) | (sbox[(w0 >> 16) & 255] << 16)
+             | (sbox[(w1 >> 8) & 255] << 8) | sbox[w2 & 255]) ^ k3,
+        )
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block."""
+        if len(ciphertext) != self.BLOCK_SIZE:
+            raise ValueError("ciphertext block must be 16 bytes")
+        d0, d1, d2, d3 = _D0, _D1, _D2, _D3
+        schedule = self._dec_schedule
+        w0, w1, w2, w3 = _FOUR_WORDS.unpack(ciphertext)
+        k0, k1, k2, k3 = schedule[0]
+        w0 ^= k0
+        w1 ^= k1
+        w2 ^= k2
+        w3 ^= k3
+        for k0, k1, k2, k3 in schedule[1:10]:
+            n0 = d0[w0 >> 24] ^ d1[(w3 >> 16) & 255] ^ d2[(w2 >> 8) & 255] ^ d3[w1 & 255] ^ k0
+            n1 = d0[w1 >> 24] ^ d1[(w0 >> 16) & 255] ^ d2[(w3 >> 8) & 255] ^ d3[w2 & 255] ^ k1
+            n2 = d0[w2 >> 24] ^ d1[(w1 >> 16) & 255] ^ d2[(w0 >> 8) & 255] ^ d3[w3 & 255] ^ k2
+            n3 = d0[w3 >> 24] ^ d1[(w2 >> 16) & 255] ^ d2[(w1 >> 8) & 255] ^ d3[w0 & 255] ^ k3
+            w0, w1, w2, w3 = n0, n1, n2, n3
+        inv = _INV_SBOX
+        k0, k1, k2, k3 = schedule[10]
+        return _FOUR_WORDS.pack(
+            ((inv[w0 >> 24] << 24) | (inv[(w3 >> 16) & 255] << 16)
+             | (inv[(w2 >> 8) & 255] << 8) | inv[w1 & 255]) ^ k0,
+            ((inv[w1 >> 24] << 24) | (inv[(w0 >> 16) & 255] << 16)
+             | (inv[(w3 >> 8) & 255] << 8) | inv[w2 & 255]) ^ k1,
+            ((inv[w2 >> 24] << 24) | (inv[(w1 >> 16) & 255] << 16)
+             | (inv[(w0 >> 8) & 255] << 8) | inv[w3 & 255]) ^ k2,
+            ((inv[w3 >> 24] << 24) | (inv[(w2 >> 16) & 255] << 16)
+             | (inv[(w1 >> 8) & 255] << 8) | inv[w0 & 255]) ^ k3,
+        )
+
+
+class ReferenceAES128(AES128):
+    """An :class:`AES128` whose block interface runs the spec path.
+
+    Exists so the modes, the keyring and the benchmarks can exercise the
+    seed-equivalent slow path through the very same call surface.
+    """
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        return self.encrypt_block_spec(plaintext)
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        return self.decrypt_block_spec(ciphertext)
+
+
+@lru_cache(maxsize=1024)
+def aes128_for_key(key: bytes) -> AES128:
+    """Shared cipher object for a derived key (one key schedule ever).
+
+    Hosting, query-time decryption and incremental updates all reach AES
+    through this cache, so a derived block key is expanded exactly once
+    per process no matter how many keyrings or sessions reference it.
+    """
+    return AES128(key)

@@ -16,7 +16,7 @@ re-derive "the same keys used for the construction of the DSI index table"
 
 from __future__ import annotations
 
-from repro.crypto.aes import AES128
+from repro.crypto.aes import AES128, ReferenceAES128, aes128_for_key
 from repro.crypto.hmac import derive_key
 from repro.crypto.ope import OrderPreservingEncryption
 from repro.crypto.prf import DeterministicRandom, PRF
@@ -26,13 +26,15 @@ from repro.crypto.vernam import DeterministicTagCipher
 class ClientKeyring:
     """All client-side secrets, derived from one master key."""
 
-    def __init__(self, master_key: bytes) -> None:
+    def __init__(self, master_key: bytes, fast_aes: bool = True) -> None:
         if len(master_key) < 16:
             raise ValueError("master key must be at least 16 bytes")
         self._master = bytes(master_key)
+        self._fast_aes = fast_aes
         self._tag_cipher: DeterministicTagCipher | None = None
         self._ope: OrderPreservingEncryption | None = None
         self._block_cipher: AES128 | None = None
+        self._block_ivs: dict[int, bytes] = {}
 
     @classmethod
     def from_passphrase(cls, passphrase: str) -> "ClientKeyring":
@@ -44,14 +46,32 @@ class ClientKeyring:
     # ------------------------------------------------------------------
     @property
     def block_cipher(self) -> AES128:
-        """AES instance for encryption-block payloads."""
+        """AES instance for encryption-block payloads.
+
+        The fast path goes through the process-wide keyed cipher cache,
+        so every keyring derived from the same master key shares one
+        cipher object and its one key expansion.  ``fast_aes=False``
+        (benchmark baseline) builds a private spec-path cipher instead.
+        """
         if self._block_cipher is None:
-            self._block_cipher = AES128(derive_key(self._master, "block")[:16])
+            key = derive_key(self._master, "block")[:16]
+            self._block_cipher = (
+                aes128_for_key(key) if self._fast_aes else ReferenceAES128(key)
+            )
         return self._block_cipher
 
     def block_iv(self, block_id: int) -> bytes:
-        """Deterministic per-block CBC IV."""
-        return derive_key(self._master, "block-iv", str(block_id))[:16]
+        """Deterministic per-block CBC IV.
+
+        Memoized: the HMAC derivation runs over a from-scratch SHA-256
+        and would otherwise rival the block decryption itself in cost
+        when the same blocks are fetched repeatedly.
+        """
+        cached = self._block_ivs.get(block_id)
+        if cached is None:
+            cached = derive_key(self._master, "block-iv", str(block_id))[:16]
+            self._block_ivs[block_id] = cached
+        return cached
 
     @property
     def tag_cipher(self) -> DeterministicTagCipher:

@@ -6,11 +6,18 @@ must be reproducible from the client keyring, and CBC with distinct IVs keeps
 equal plaintext subtrees from producing equal ciphertexts (the same goal the
 paper's decoys serve at the value level, here at the byte level).  CTR mode
 is provided for keystream-style uses.
+
+The XOR plumbing is word-wise: blocks are combined as 128-bit integers via
+``int.from_bytes`` rather than per-byte generator expressions, and the
+chaining XOR of CBC decryption (plus the keystream XOR of CTR) is applied
+to the whole message in a single big-integer operation — CBC decryption
+and CTR have no sequential data dependency, only CBC *encryption* does.
 """
 
 from __future__ import annotations
 
 from repro.crypto.aes import AES128
+from repro.perf import counters
 
 BLOCK = AES128.BLOCK_SIZE
 
@@ -35,20 +42,28 @@ def pkcs7_unpad(data: bytes, block_size: int = BLOCK) -> bytes:
     return data[:-pad_length]
 
 
+def _xor_bytes(left: bytes, right: bytes) -> bytes:
+    """XOR two equal-length byte strings as one big-integer operation."""
+    length = len(left)
+    return (
+        int.from_bytes(left, "big") ^ int.from_bytes(right, "big")
+    ).to_bytes(length, "big")
+
+
 def cbc_encrypt(cipher: AES128, iv: bytes, plaintext: bytes) -> bytes:
     """CBC-encrypt ``plaintext`` (padded internally with PKCS#7)."""
     if len(iv) != BLOCK:
         raise ValueError("IV must be one cipher block")
     padded = pkcs7_pad(plaintext)
-    previous = iv
+    counters.blocks_encrypted += len(padded) // BLOCK
+    encrypt_block = cipher.encrypt_block
+    previous = int.from_bytes(iv, "big")
     out = bytearray()
     for offset in range(0, len(padded), BLOCK):
-        block = bytes(
-            p ^ c for p, c in zip(padded[offset : offset + BLOCK], previous)
-        )
-        encrypted = cipher.encrypt_block(block)
-        out.extend(encrypted)
-        previous = encrypted
+        block = int.from_bytes(padded[offset : offset + BLOCK], "big")
+        encrypted = encrypt_block((block ^ previous).to_bytes(BLOCK, "big"))
+        out += encrypted
+        previous = int.from_bytes(encrypted, "big")
     return bytes(out)
 
 
@@ -58,25 +73,29 @@ def cbc_decrypt(cipher: AES128, iv: bytes, ciphertext: bytes) -> bytes:
         raise ValueError("IV must be one cipher block")
     if len(ciphertext) % BLOCK != 0:
         raise ValueError("ciphertext length must be a multiple of the block size")
-    previous = iv
-    out = bytearray()
-    for offset in range(0, len(ciphertext), BLOCK):
-        block = ciphertext[offset : offset + BLOCK]
-        decrypted = cipher.decrypt_block(block)
-        out.extend(d ^ p for d, p in zip(decrypted, previous))
-        previous = block
-    return pkcs7_unpad(bytes(out))
+    counters.blocks_decrypted += len(ciphertext) // BLOCK
+    decrypt_block = cipher.decrypt_block
+    decrypted = b"".join(
+        decrypt_block(ciphertext[offset : offset + BLOCK])
+        for offset in range(0, len(ciphertext), BLOCK)
+    )
+    # Each plaintext block is decrypted-block XOR previous ciphertext
+    # block (IV for the first) — independent per block, so one whole-
+    # message XOR replaces the per-block chaining loop.
+    chain = iv + ciphertext[:-BLOCK]
+    return pkcs7_unpad(_xor_bytes(decrypted, chain))
 
 
 def ctr_transform(cipher: AES128, nonce: bytes, data: bytes) -> bytes:
     """CTR-mode keystream XOR (encryption and decryption are the same op)."""
     if len(nonce) != 8:
         raise ValueError("CTR nonce must be 8 bytes")
-    out = bytearray()
-    counter = 0
-    for offset in range(0, len(data), BLOCK):
-        keystream = cipher.encrypt_block(nonce + counter.to_bytes(8, "big"))
-        chunk = data[offset : offset + BLOCK]
-        out.extend(d ^ k for d, k in zip(chunk, keystream))
-        counter += 1
-    return bytes(out)
+    if not data:
+        return b""
+    encrypt_block = cipher.encrypt_block
+    block_count = (len(data) + BLOCK - 1) // BLOCK
+    keystream = b"".join(
+        encrypt_block(nonce + counter.to_bytes(8, "big"))
+        for counter in range(block_count)
+    )
+    return _xor_bytes(data, keystream[: len(data)])

@@ -1,0 +1,23 @@
+"""Performance instrumentation for the hot paths.
+
+The paper's §7 evaluation breaks query cost into stages; this package adds
+the *mechanistic* layer underneath those stage timings: counters for the
+operations that dominate each stage (block decryptions, AES key
+expansions) and for the caches that elide them (query-plan cache,
+server fragment cache, client decrypted-block cache, per-tag interval
+arrays).  The global :data:`counters` registry is cheap enough to leave
+enabled unconditionally; benchmarks and tests read deltas around the
+region they measure.
+
+Usage::
+
+    from repro.perf import counters
+
+    before = counters.snapshot()
+    system.execute_many(queries)
+    print(counters.delta_since(before))
+"""
+
+from repro.perf.counters import PerfCounters, counters
+
+__all__ = ["PerfCounters", "counters"]

@@ -1,0 +1,71 @@
+"""Global performance-counter registry.
+
+One process-wide :class:`PerfCounters` instance (:data:`counters`) is
+incremented from the hot paths themselves — the AES key schedule, the CBC
+decryptor, and every cache layer.  Counters are plain integer attributes,
+so the overhead per event is one attribute increment; nothing here
+imports the rest of the package (the crypto layer imports *us*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class PerfCounters:
+    """Cumulative operation and cache-traffic counts.
+
+    ``*_hits`` / ``*_misses`` pairs cover one cache layer each:
+
+    * ``plan`` — the client's translated-query plan cache;
+    * ``fragment`` — the server's serialized-fragment cache;
+    * ``block`` — the client's decrypted-block cache;
+    * ``tree`` — the client's fully decrypted fragment-tree cache
+      (parse + block decryption + decoy stripping, one level above the
+      block cache);
+    * ``interval`` — the structural index's per-tag sorted low-bound
+      arrays used by descendant joins.
+    """
+
+    key_expansions: int = 0
+    blocks_encrypted: int = 0
+    blocks_decrypted: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    fragment_cache_hits: int = 0
+    fragment_cache_misses: int = 0
+    block_cache_hits: int = 0
+    block_cache_misses: int = 0
+    tree_cache_hits: int = 0
+    tree_cache_misses: int = 0
+    interval_cache_hits: int = 0
+    interval_cache_misses: int = 0
+    epoch_invalidations: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Current values as a plain dict (safe to hold across resets)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def delta_since(self, before: dict[str, int]) -> dict[str, int]:
+        """Per-counter difference against an earlier :meth:`snapshot`."""
+        return {
+            name: value - before.get(name, 0)
+            for name, value in self.snapshot().items()
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (benchmark isolation)."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def hit_rate(self, cache: str) -> float:
+        """Hit rate in [0, 1] for one cache layer (0.0 when untouched)."""
+        hits = getattr(self, f"{cache}_cache_hits")
+        misses = getattr(self, f"{cache}_cache_misses")
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+#: The process-wide registry every hot path increments.
+counters = PerfCounters()

@@ -1,0 +1,121 @@
+"""Property tests for the T-table AES fast path and word-wise modes.
+
+The fast path must be a pure performance change: byte-identical to the
+from-scratch FIPS-197 spec implementation on every key and block, with
+the official Appendix C vector passing through both code paths, and the
+word-wise CBC/CTR rewrites round-tripping arbitrary payloads including
+empty and non-block-aligned ones.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import (
+    AES128,
+    ReferenceAES128,
+    _expand_key_cached,
+    aes128_for_key,
+)
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt, ctr_transform
+from repro.perf import counters
+
+# FIPS-197 Appendix C.1 (AES-128) known-answer vector.
+_FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+_FIPS_PLAIN = bytes.fromhex("00112233445566778899aabbccddeeff")
+_FIPS_CIPHER = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+_keys = st.binary(min_size=16, max_size=16)
+_blocks = st.binary(min_size=16, max_size=16)
+_ivs = st.binary(min_size=16, max_size=16)
+_nonces = st.binary(min_size=8, max_size=8)
+_payloads = st.binary(min_size=0, max_size=200)
+
+
+class TestFastPathEquivalence:
+    def test_fips_197_appendix_c_fast_path(self):
+        cipher = AES128(_FIPS_KEY)
+        assert cipher.encrypt_block(_FIPS_PLAIN) == _FIPS_CIPHER
+        assert cipher.decrypt_block(_FIPS_CIPHER) == _FIPS_PLAIN
+
+    def test_fips_197_appendix_c_spec_path(self):
+        cipher = ReferenceAES128(_FIPS_KEY)
+        assert cipher.encrypt_block(_FIPS_PLAIN) == _FIPS_CIPHER
+        assert cipher.decrypt_block(_FIPS_CIPHER) == _FIPS_PLAIN
+
+    @given(_keys, _blocks)
+    @settings(max_examples=60, deadline=None)
+    def test_encrypt_matches_spec(self, key, block):
+        cipher = AES128(key)
+        assert cipher.encrypt_block(block) == cipher.encrypt_block_spec(block)
+
+    @given(_keys, _blocks)
+    @settings(max_examples=60, deadline=None)
+    def test_decrypt_matches_spec(self, key, block):
+        cipher = AES128(key)
+        assert cipher.decrypt_block(block) == cipher.decrypt_block_spec(block)
+
+    @given(_keys, _blocks)
+    @settings(max_examples=40, deadline=None)
+    def test_fast_round_trip(self, key, block):
+        cipher = AES128(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(_keys, _blocks)
+    @settings(max_examples=40, deadline=None)
+    def test_reference_subclass_agrees(self, key, block):
+        """ReferenceAES128 (the benchmark baseline) is the same cipher."""
+        fast = AES128(key)
+        spec = ReferenceAES128(key)
+        assert fast.encrypt_block(block) == spec.encrypt_block(block)
+        assert spec.decrypt_block(fast.encrypt_block(block)) == block
+
+
+class TestWordWiseModes:
+    @given(_keys, _ivs, _payloads)
+    @settings(max_examples=60, deadline=None)
+    def test_cbc_round_trip(self, key, iv, payload):
+        cipher = AES128(key)
+        assert cbc_decrypt(cipher, iv, cbc_encrypt(cipher, iv, payload)) == payload
+
+    @given(_keys, _nonces, _payloads)
+    @settings(max_examples=60, deadline=None)
+    def test_ctr_round_trip(self, key, nonce, payload):
+        cipher = AES128(key)
+        transformed = ctr_transform(cipher, nonce, payload)
+        assert len(transformed) == len(payload)
+        assert ctr_transform(cipher, nonce, transformed) == payload
+
+    def test_cbc_empty_payload(self):
+        cipher = AES128(_FIPS_KEY)
+        iv = bytes(16)
+        ciphertext = cbc_encrypt(cipher, iv, b"")
+        assert len(ciphertext) == 16  # one full padding block
+        assert cbc_decrypt(cipher, iv, ciphertext) == b""
+
+    def test_ctr_empty_payload(self):
+        cipher = AES128(_FIPS_KEY)
+        assert ctr_transform(cipher, bytes(8), b"") == b""
+
+    def test_cbc_non_aligned_payloads(self):
+        cipher = AES128(_FIPS_KEY)
+        iv = bytes(range(16))
+        for size in (1, 15, 16, 17, 31, 33):
+            payload = bytes(range(256))[:size]
+            ciphertext = cbc_encrypt(cipher, iv, payload)
+            assert len(ciphertext) % 16 == 0
+            assert cbc_decrypt(cipher, iv, ciphertext) == payload
+
+
+class TestCipherCaches:
+    def test_key_schedule_cached_across_instances(self):
+        key = b"cached-schedule!"
+        _expand_key_cached.cache_clear()
+        before = counters.key_expansions
+        AES128(key).encrypt_block(bytes(16))
+        AES128(key).encrypt_block(bytes(16))
+        assert counters.key_expansions - before == 1
+
+    def test_keyed_cipher_cache_shares_instances(self):
+        key = b"shared-cipher-k!"
+        assert aes128_for_key(key) is aes128_for_key(key)
+        assert aes128_for_key(key) is not aes128_for_key(b"other-cipher-k!!")
