@@ -46,6 +46,25 @@ def bench_trials() -> int:
     return BENCH_TRIALS
 
 
+@pytest.fixture(autouse=True)
+def quiesce_gc():
+    """Keep collector pauses out of the measured sections.
+
+    Same rationale as ``timeit``'s default ``gc.disable()``: a cyclic-GC
+    pass triggered mid-measurement charges an unrelated scheme with a
+    multi-millisecond pause and flips the tight shape assertions.
+    Freezing (rather than disabling) keeps collection alive for garbage
+    created during the test while taking the long-lived hosted systems
+    and caches out of every scan.
+    """
+    import gc
+
+    gc.collect()
+    gc.freeze()
+    yield
+    gc.unfreeze()
+
+
 @pytest.fixture(scope="session")
 def xmark_doc():
     return build_xmark_database(person_count=XMARK_PERSONS, seed=41)

@@ -23,8 +23,12 @@ from conftest import SCHEMES, write_result
 def _run(nasa_systems, nasa_queries, query_class):
     results = {}
     for kind in SCHEMES:
+        # cold: Figure 9 compares independent per-query executions; warm
+        # caches would let the coarse schemes amortize one whole-database
+        # decrypt across the class and invert the ordering.
         results[kind] = run_query_class(
-            nasa_systems[kind], query_class, nasa_queries[query_class]
+            nasa_systems[kind], query_class, nasa_queries[query_class],
+            cold=True,
         )
     return results
 

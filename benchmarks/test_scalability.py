@@ -33,8 +33,13 @@ def _measure(dataset_count: int) -> dict:
     ours = []
     naive = []
     for query in queries:
+        # cold: compare independent executions of both protocols; warm
+        # caches would let the naive path amortize its whole-database
+        # decrypt across the query list.
+        system.flush_caches()
         system.query(query)
         ours.append(system.last_trace.total_s)
+        system.flush_caches()
         system.naive_query(query)
         naive.append(system.last_trace.total_s)
     return {

@@ -69,11 +69,19 @@ def run_query_class(
     query_class: str,
     queries: list[str],
     naive: bool = False,
+    cold: bool = False,
 ) -> QueryClassResult:
-    """Run a query set and return the averaged stage breakdown."""
+    """Run a query set and return the averaged stage breakdown.
+
+    ``cold=True`` flushes the warm-path caches before every query so the
+    result reflects independent executions (the paper's measurement
+    protocol), not cross-query amortization.
+    """
     before = counters.snapshot()
     traces: list[QueryTrace] = []
     for query in queries:
+        if cold:
+            system.flush_caches()
         if naive:
             system.naive_query(query)
         else:

@@ -132,9 +132,15 @@ def cmd_host(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     if args.load:
-        from repro.core.storage import load_system
+        from repro.core.storage import StorageError, load_system
 
-        system = load_system(args.load, _master_key(args))
+        try:
+            system = load_system(args.load, _master_key(args))
+        except StorageError as exc:
+            # Corrupt/tampered hosting: one-line diagnostic, nonzero exit —
+            # never a traceback, never a query over bad state.
+            print(f"error: cannot load hosting: {exc}", file=sys.stderr)
+            return 2
     else:
         document, constraints = build_workload(
             args.workload, args.size, args.seed

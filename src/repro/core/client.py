@@ -14,12 +14,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import hmac as _compare
+
 from repro.core.decoy import remove_decoys
 from repro.core.encryptor import HostedDatabase
+from repro.core.integrity import TamperedResponseError, seal, unseal
 from repro.core.server import Fragment, ServerResponse
 from repro.core.translate import PlanCache, QueryTranslator, TranslatedQuery
 from repro.crypto.keyring import ClientKeyring
 from repro.crypto.modes import cbc_decrypt
+from repro.netsim.message import (
+    MessageDecodeError,
+    decode_response,
+    encode_query,
+)
 from repro.perf import counters
 from repro.xmldb.node import (
     Attribute,
@@ -104,6 +112,16 @@ class Client:
         self._tree_cache: dict[str, Element] | None = (
             {} if enable_cache else None
         )
+        self._request_key, self._response_key = keyring.session_keys()
+        self._request_cache: dict[str, bytes] | None = (
+            {} if enable_cache else None
+        )
+        self._response_cache: dict[bytes, ServerResponse] | None = (
+            {} if enable_cache else None
+        )
+        self._verified_payloads: dict[int, bytes] | None = (
+            {} if enable_cache else None
+        )
         self._cache_epoch = hosted.epoch
 
     # ------------------------------------------------------------------
@@ -131,6 +149,81 @@ class Client:
         path = query if isinstance(query, ast.LocationPath) else parse_xpath(query)
         pattern = compile_pattern(path)
         return self._translator.translate(pattern)
+
+    # ------------------------------------------------------------------
+    # Wire envelope (untrusted-server hardening)
+    # ------------------------------------------------------------------
+    def seal_request(
+        self, translated: TranslatedQuery, cache_key: str | None = None
+    ) -> bytes:
+        """Encode and integrity-seal a translated query for the wire.
+
+        ``cache_key`` (the original XPath string) lets a repeated query
+        reuse its sealed bytes — same object, same cached hash — which is
+        what keeps the server's wire cache a single dict lookup.
+        """
+        if self._request_cache is not None and cache_key is not None:
+            self._check_epoch()
+            blob = self._request_cache.get(cache_key)
+            if blob is None:
+                blob = seal(self._request_key, encode_query(translated))
+                self._request_cache[cache_key] = blob
+            return blob
+        return seal(self._request_key, encode_query(translated))
+
+    def seal_naive_request(self, xpath: str) -> bytes:
+        """Seal the opaque naive-path request (the raw query string)."""
+        return seal(self._request_key, xpath.encode("utf-8"))
+
+    def open_response(self, blob: bytes) -> ServerResponse:
+        """Verify a sealed wire response and decode it.
+
+        Raises :class:`~repro.core.integrity.TamperedResponseError` for
+        *any* byte-level difference from what the server sealed — a
+        flipped bit, a truncation, a wholesale substitution — before a
+        single byte is parsed.  Verified responses are cached by their
+        sealed bytes, so the warm repeated-query path costs one dict
+        lookup (the server hands back the identical bytes object).
+        """
+        if self._response_cache is not None:
+            self._check_epoch()
+            cached = self._response_cache.get(blob)
+            if cached is not None:
+                return cached
+        payload = unseal(self._response_key, blob)
+        try:
+            response = decode_response(payload)
+        except MessageDecodeError as exc:
+            raise TamperedResponseError(str(exc)) from exc
+        if self._response_cache is not None and not response.naive:
+            # Naive responses hold the whole database as live fragment
+            # objects; pinning one per scheme bloats the heap (and the
+            # naive path is the cost baseline — it should stay honest).
+            self._response_cache[blob] = response
+        return response
+
+    def _verify_block(self, block_id: int, payload: bytes) -> None:
+        """Check a ciphertext payload against its encrypt-then-MAC tag.
+
+        The expected tag comes from the client's *own* hosted-state
+        knowledge (``hosted.block_tags``), never from the response, so a
+        server cannot strip or substitute tags.  Hostings built before
+        tags existed have no entry and skip the check.
+        """
+        expected = self._hosted.block_tags.get(block_id)
+        if expected is None:
+            return
+        if self._verified_payloads is not None:
+            if self._verified_payloads.get(block_id) == payload:
+                return
+        actual = self._keyring.block_tag(block_id, payload)
+        if not _compare.compare_digest(actual, expected):
+            counters.integrity_failures += 1
+            raise TamperedResponseError(
+                f"block {block_id} failed integrity verification"
+            )
+        if self._verified_payloads is not None:
+            self._verified_payloads[block_id] = payload
 
     # ------------------------------------------------------------------
     # Decryption (§6.4, first half)
@@ -179,11 +272,27 @@ class Client:
     def _check_epoch(self) -> None:
         """Flush the decrypted caches when the scheme epoch moved on."""
         if self._hosted.epoch != self._cache_epoch:
-            if self._block_cache is not None:
-                self._block_cache.clear()
-            if self._tree_cache is not None:
-                self._tree_cache.clear()
+            self.flush_caches()
             self._cache_epoch = self._hosted.epoch
+
+    def flush_caches(self) -> None:
+        """Drop every warm-path cache (plans, trees, blocks, wire blobs).
+
+        Correctness never depends on the caches, so flushing is always
+        safe; benchmarks use it to measure cold per-query costs.
+        """
+        if self._plan_cache is not None:
+            self._plan_cache.clear()
+        if self._block_cache is not None:
+            self._block_cache.clear()
+        if self._tree_cache is not None:
+            self._tree_cache.clear()
+        if self._request_cache is not None:
+            self._request_cache.clear()
+        if self._response_cache is not None:
+            self._response_cache.clear()
+        if self._verified_payloads is not None:
+            self._verified_payloads.clear()
 
     def _resolve_encrypted_root(self, root: Element) -> Element:
         if root.tag != ENCRYPTED_DATA_TAG:
@@ -196,15 +305,21 @@ class Client:
     def _decrypt_block(self, block_id: int, payload: bytes) -> Element:
         """Decrypt one block to its plaintext subtree, through the cache.
 
+        The payload is verified against its encrypt-then-MAC tag *before*
+        any decryption or cache consultation, so a tampered ciphertext can
+        never be masked by a stale cached plaintext.
+
         The cache keeps a pristine parsed copy per block id (decoys still
         in place — callers strip them from their own copy) and hands out
         deep clones, since the pipeline mutates the returned tree.  A
         scheme-epoch change flushes the whole cache: update operations
         re-encrypt or remove payloads under the *same* block ids.
         """
+        if self._block_cache is not None:
+            self._check_epoch()
+        self._verify_block(block_id, payload)
         if self._block_cache is None:
             return self._decrypt_block_uncached(block_id, payload)
-        self._check_epoch()
         cached = self._block_cache.get(block_id)
         if cached is not None:
             counters.block_cache_hits += 1

@@ -60,6 +60,11 @@ class HostedDatabase:
     plaintext_keys: set[str] = field(default_factory=set)
     field_plans: dict[str, FieldPlan] = field(default_factory=dict)
     field_tokens: dict[str, str] = field(default_factory=dict)
+    #: Encrypt-then-MAC tag per block (client-computed, server-stored):
+    #: HMAC-SHA256(block-mac key, block id ‖ ciphertext).  The client
+    #: verifies these before decrypting, so a server that modifies or
+    #: swaps ciphertexts is detected rather than silently believed.
+    block_tags: dict[int, bytes] = field(default_factory=dict)
     decoy_count: int = 0
     #: False only for the §4.1 strawman hosting (fixed IV, no decoys).
     secure: bool = True
@@ -169,6 +174,7 @@ def host_database(
     decoy_stream = keyring.decoy_stream()
     blocks: dict[int, bytes] = {}
     placeholders: dict[int, EncryptedBlockNode] = {}
+    block_tags: dict[int, bytes] = {}
     hosted_root: Node = hosted.root
     decoy_count = 0
     for root_id in sorted(scheme.block_root_ids):
@@ -183,6 +189,7 @@ def host_database(
         placeholder = EncryptedBlockNode(block_id, payload)
         blocks[block_id] = payload
         placeholders[block_id] = placeholder
+        block_tags[block_id] = keyring.block_tag(block_id, payload)
         if subtree is hosted_root:
             hosted_root = placeholder
         else:
@@ -207,6 +214,7 @@ def host_database(
         value_index=value_index,
         blocks=blocks,
         placeholders=placeholders,
+        block_tags=block_tags,
         root_tag=document.root.tag,
         encrypted_tags=encrypted_tags,
         plaintext_keys=plaintext_keys,

@@ -1,0 +1,69 @@
+"""Integrity envelope for wire payloads (untrusted-server hardening).
+
+The paper's threat model (§3.3) assumes an honest-but-curious server; this
+module moves the reproduction toward an *actively adversarial* one: every
+payload crossing the client↔server channel is wrapped in a keyed
+HMAC-SHA256 envelope, and every encryption block carries an
+encrypt-then-MAC tag (see :meth:`repro.crypto.keyring.ClientKeyring
+.block_tag`).  Tampering — whether injected by the fault channel or by the
+server — becomes *detection* (a typed error the retry layer can handle),
+never a silent wrong answer.
+
+Envelope layout::
+
+    b"rxi1" | tag (32 bytes, HMAC-SHA256 over the payload) | payload
+
+Two MAC keys exist (both derived from the master key, see
+``ClientKeyring.session_keys``): the *request* key authenticates
+client→server messages, the *response* key server→client messages.  They
+model an authenticated session, so they defend the wire; the per-block
+tags use a third, client-only key and defend against the server itself.
+"""
+
+from __future__ import annotations
+
+import hmac as _compare
+
+from repro.crypto.hmac import hmac_sha256_fast
+
+#: Envelope magic: "repro xml integrity, layout 1".
+MAGIC = b"rxi1"
+TAG_BYTES = 32
+OVERHEAD = len(MAGIC) + TAG_BYTES
+
+
+class IntegrityError(Exception):
+    """Base class for integrity-envelope verification failures."""
+
+
+class TamperedResponseError(IntegrityError):
+    """A server→client payload failed MAC verification (or a block tag)."""
+
+
+class TamperedRequestError(IntegrityError):
+    """A client→server payload failed MAC verification at the server."""
+
+
+def seal(key: bytes, payload: bytes) -> bytes:
+    """Wrap ``payload`` in the integrity envelope under ``key``."""
+    return MAGIC + hmac_sha256_fast(key, payload) + payload
+
+
+def unseal(
+    key: bytes,
+    blob: bytes,
+    error: type[IntegrityError] = TamperedResponseError,
+) -> bytes:
+    """Verify and strip the envelope; raises ``error`` on any mismatch.
+
+    Every failure mode — truncation below the header, a wrong magic, a
+    flipped bit anywhere in tag or payload — raises the same typed error,
+    so callers cannot be tricked into partial parses.
+    """
+    if len(blob) < OVERHEAD or blob[: len(MAGIC)] != MAGIC:
+        raise error("envelope header missing or truncated")
+    tag = blob[len(MAGIC) : OVERHEAD]
+    payload = blob[OVERHEAD:]
+    if not _compare.compare_digest(tag, hmac_sha256_fast(key, payload)):
+        raise error("envelope MAC mismatch")
+    return payload

@@ -18,9 +18,15 @@ from dataclasses import dataclass, field
 
 from repro.core.dsi import IndexEntry, StructuralIndex
 from repro.core.encryptor import HostedDatabase
+from repro.core.integrity import TamperedRequestError, seal, unseal
 from repro.core.opess import ValueIndex
 from repro.core.structural_join import MatchResult, match_pattern
 from repro.core.translate import TranslatedQuery
+from repro.netsim.message import (
+    MessageDecodeError,
+    decode_query,
+    encode_response,
+)
 from repro.perf import counters
 from repro.xmldb.node import Attribute, Element, EncryptedBlockNode, Node
 from repro.xmldb.serializer import serialize
@@ -66,7 +72,12 @@ class Server:
     hosted database, the hook the update engine drives.
     """
 
-    def __init__(self, hosted: HostedDatabase, enable_cache: bool = True) -> None:
+    def __init__(
+        self,
+        hosted: HostedDatabase,
+        enable_cache: bool = True,
+        session_keys: "tuple[bytes, bytes] | None" = None,
+    ) -> None:
         self._hosted = hosted
         self._hosted_root = hosted.hosted_root
         self._structure: StructuralIndex = hosted.structural_index
@@ -74,13 +85,25 @@ class Server:
         self._placeholders = hosted.placeholders
         self._enable_cache = enable_cache
         self._fragment_cache: dict[int, Fragment] = {}
+        #: Sealed wire responses keyed by the (verified-by-construction)
+        #: request blob: a repeated query re-sends byte-identical request
+        #: bytes, so the warm path skips decode + evaluate + seal entirely
+        #: and even returns the *same bytes object*, which lets the client
+        #: verify it with one cached-hash dict lookup.
+        self._wire_cache: dict[bytes, bytes] = {}
+        self._session_keys = session_keys
         self._cache_epoch = hosted.epoch
 
     def _check_epoch(self) -> None:
         """Flush the fragment cache when the hosted state has mutated."""
         if self._hosted.epoch != self._cache_epoch:
-            self._fragment_cache.clear()
+            self.flush_caches()
             self._cache_epoch = self._hosted.epoch
+
+    def flush_caches(self) -> None:
+        """Drop the fragment and sealed-response caches."""
+        self._fragment_cache.clear()
+        self._wire_cache.clear()
 
     # ------------------------------------------------------------------
     # Normal path: §6.2 steps 1-3
@@ -111,6 +134,63 @@ class Server:
             naive=True,
             blocks_shipped=len(self._placeholders),
         )
+
+    # ------------------------------------------------------------------
+    # Wire interface (integrity-enveloped bytes; see docs/PROTOCOL.md,
+    # "Failure model & integrity envelope")
+    # ------------------------------------------------------------------
+    def answer_wire(self, request_blob: bytes) -> bytes:
+        """Answer a sealed wire request with a sealed wire response.
+
+        Verifies the request envelope (raising
+        :class:`~repro.core.integrity.TamperedRequestError` when the wire
+        mangled it), decodes the translated query, evaluates it, and
+        seals the encoded response.  A request that decodes to garbage
+        despite an intact envelope is impossible by construction, but a
+        :class:`MessageDecodeError` is mapped to the same typed error so
+        the client's retry loop has a single failure surface.
+        """
+        request_key, response_key = self._require_session_keys()
+        self._check_epoch()
+        if self._enable_cache:
+            cached = self._wire_cache.get(request_blob)
+            if cached is not None:
+                return cached
+        query_bytes = unseal(
+            request_key, request_blob, error=TamperedRequestError
+        )
+        try:
+            translated = decode_query(query_bytes)
+        except MessageDecodeError as exc:
+            raise TamperedRequestError(str(exc)) from exc
+        response = self.answer(translated)
+        blob = seal(response_key, encode_response(response))
+        if self._enable_cache:
+            self._wire_cache[request_blob] = blob
+        return blob
+
+    def ship_all_wire(self, request_blob: bytes) -> bytes:
+        """Naive-path wire exchange: verify the request, ship everything.
+
+        The naive request payload is just the opaque query string (the
+        server never parses it); the envelope check still rejects a
+        mangled request instead of wasting a full-database ship on it.
+
+        Deliberately uncached: the naive path is the §7.3 cost baseline,
+        so every call pays the full serialize + seal bill.
+        """
+        request_key, response_key = self._require_session_keys()
+        self._check_epoch()
+        unseal(request_key, request_blob, error=TamperedRequestError)
+        return seal(response_key, encode_response(self.ship_all()))
+
+    def _require_session_keys(self) -> tuple[bytes, bytes]:
+        if self._session_keys is None:
+            raise RuntimeError(
+                "server has no session MAC keys; construct it with "
+                "session_keys=keyring.session_keys() to use the wire API"
+            )
+        return self._session_keys
 
     # ------------------------------------------------------------------
     # Fragment assembly

@@ -13,18 +13,40 @@ Layout of a saved hosting::
     <directory>/
       hosted.xml          # the partially encrypted tree (server-side)
       server_meta.json    # DSI table, block table, value index (server-side)
-      client_state.json   # owner's knowledge: tag sets, occurrences
-                          # (client-side — contains plaintext values; it
-                          #  must never be given to the server)
+      client_state.json   # owner's knowledge: tag sets, occurrences,
+                          # per-block MAC tags (client-side — contains
+                          # plaintext values; it must never be given to
+                          # the server)
+      manifest.json       # SHA-256 of each file above (commit marker)
 
 Field plans, tag tokens and every key are *re-derived* from the master key
 on load (the whole pipeline is deterministic in it), so the client file
 holds only what cannot be derived: which tags/fields exist on which side,
-and the per-field occurrence lists that power incremental updates.
+the per-field occurrence lists that power incremental updates, and the
+encrypt-then-MAC block tags.
+
+Crash safety
+------------
+A save is a two-phase commit: every file is first *staged* next to its
+target as ``<name>.new`` (written, flushed and fsynced), then the data
+files are published with atomic :func:`os.replace` and the manifest is
+replaced **last**.  The manifest therefore acts as the commit record — a
+directory whose files all hash to the manifest's digests is a consistent
+hosting.  :func:`load_system` first runs recovery: an interrupted save is
+rolled *forward* when the staged generation is complete (every file either
+already published or still staged intact) and rolled *back* (stale ``.new``
+files discarded) otherwise, so a save killed at any instant leaves the
+directory loadable — either entirely the old hosting or entirely the new
+one, never a mix.  Any file that fails its manifest digest afterwards
+raises :class:`StorageError` naming the bad file.
+
+The module-level crash hook (:func:`set_crash_point`) lets tests kill a
+save at every labelled step of the protocol and prove that claim.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from collections import Counter
@@ -36,23 +58,107 @@ from repro.core.encryptor import HostedDatabase, _renumber_hosted
 from repro.core.opess import ValueIndex, build_field_plan
 from repro.core.scheme import EncryptionScheme
 from repro.core.server import Server
-from repro.core.system import HostingTrace, SecureXMLSystem
+from repro.core.system import HostingTrace, RetryPolicy, SecureXMLSystem
 from repro.crypto.keyring import ClientKeyring
 from repro.netsim.channel import Channel
 from repro.xmldb.node import Element, EncryptedBlockNode, Node
 from repro.xmldb.parser import ENCRYPTED_DATA_TAG, parse_fragment
 from repro.xmldb.serializer import serialize
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+_DATA_FILES = ("hosted.xml", "server_meta.json", "client_state.json")
+_MANIFEST = "manifest.json"
+
+
+class StorageError(ValueError):
+    """A saved hosting is corrupt, tampered with, or unreadable.
+
+    Always names the offending file in :attr:`path`/the message, so an
+    operator knows *which* artifact to restore.  Subclasses
+    :class:`ValueError` for compatibility with pre-hardening callers.
+    """
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        super().__init__(f"{message}: {path}")
+
+
+class CrashInjected(RuntimeError):
+    """Raised by the crash hook to simulate a kill mid-save (tests only)."""
+
+
+_crash_point: str | None = None
+
+
+def set_crash_point(point: str | None) -> None:
+    """Arm the crash hook: the next save raises at the named step.
+
+    Steps are ``stage:<file>`` (before that file's ``.new`` is written)
+    and ``commit:<file>`` (before that file's :func:`os.replace`), with
+    files in the order hosted.xml, server_meta.json, client_state.json,
+    manifest.json.  Pass ``None`` to disarm.
+    """
+    global _crash_point
+    _crash_point = point
+
+
+def crash_points() -> list[str]:
+    """Every step a save can be killed at, in protocol order."""
+    names = (*_DATA_FILES, _MANIFEST)
+    return [f"stage:{name}" for name in names] + [
+        f"commit:{name}" for name in names
+    ]
+
+
+def _maybe_crash(point: str) -> None:
+    if _crash_point == point:
+        raise CrashInjected(point)
+
+
+def _sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _file_digest(path: str) -> str | None:
+    """SHA-256 of a file, or None when it is absent/unreadable."""
+    try:
+        with open(path, "rb") as f:
+            return _sha256_hex(f.read())
+    except OSError:
+        return None
+
+
+def _write_staged(directory: str, name: str, data: bytes) -> None:
+    """Write ``<name>.new`` durably (flush + fsync before returning)."""
+    staged = os.path.join(directory, name + ".new")
+    with open(staged, "wb") as f:
+        f.write(data)
+        f.flush()
+        os.fsync(f.fileno())
+
+
+def _fsync_directory(directory: str) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # platforms without directory fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def save_system(system: SecureXMLSystem, directory: str) -> None:
-    """Persist a hosted system's server and client state to a directory."""
+    """Persist a hosted system's server and client state to a directory.
+
+    Atomic with respect to crashes: see the module docstring for the
+    stage-then-commit protocol.
+    """
     os.makedirs(directory, exist_ok=True)
     hosted = system.hosted
-
-    with open(os.path.join(directory, "hosted.xml"), "w", encoding="utf-8") as f:
-        f.write(serialize(hosted.hosted_root))
 
     entries = hosted.structural_index.all_entries()
     entry_index = {id(entry): position for position, entry in enumerate(entries)}
@@ -86,10 +192,6 @@ def save_system(system: SecureXMLSystem, directory: str) -> None:
             for token, tree in hosted.value_index.trees.items()
         },
     }
-    with open(
-        os.path.join(directory, "server_meta.json"), "w", encoding="utf-8"
-    ) as f:
-        json.dump(server_meta, f)
 
     client_state = {
         "version": _FORMAT_VERSION,
@@ -103,33 +205,190 @@ def save_system(system: SecureXMLSystem, directory: str) -> None:
             field: [[value, block] for value, block in occurrence_list]
             for field, occurrence_list in hosted.occurrences.items()
         },
+        "block_tags": {
+            str(block_id): tag.hex()
+            for block_id, tag in sorted(hosted.block_tags.items())
+        },
         "decoy_count": hosted.decoy_count,
     }
-    with open(
-        os.path.join(directory, "client_state.json"), "w", encoding="utf-8"
-    ) as f:
-        json.dump(client_state, f)
+
+    contents: dict[str, bytes] = {
+        "hosted.xml": serialize(hosted.hosted_root).encode("utf-8"),
+        "server_meta.json": json.dumps(server_meta).encode("utf-8"),
+        "client_state.json": json.dumps(client_state).encode("utf-8"),
+    }
+    manifest = {
+        "version": _FORMAT_VERSION,
+        "files": {name: _sha256_hex(data) for name, data in contents.items()},
+    }
+    contents[_MANIFEST] = json.dumps(manifest).encode("utf-8")
+
+    # Phase 1: stage everything as .new (data files first, manifest last,
+    # so a complete staged manifest implies a complete staged generation).
+    for name in (*_DATA_FILES, _MANIFEST):
+        _maybe_crash(f"stage:{name}")
+        _write_staged(directory, name, contents[name])
+
+    # Phase 2: publish.  The manifest replace is the commit point.
+    for name in (*_DATA_FILES, _MANIFEST):
+        _maybe_crash(f"commit:{name}")
+        path = os.path.join(directory, name)
+        os.replace(path + ".new", path)
+    _fsync_directory(directory)
+
+
+# ----------------------------------------------------------------------
+# Recovery + verification (load path)
+# ----------------------------------------------------------------------
+def _recover(directory: str) -> None:
+    """Finish or undo an interrupted save so the directory is consistent.
+
+    Roll forward when the staged generation is complete — the staged
+    manifest parses and every listed file is available at its staged
+    digest (already published or still in ``.new``) — otherwise roll
+    back by discarding every stale ``.new`` file.
+    """
+    staged_manifest = os.path.join(directory, _MANIFEST + ".new")
+    if not os.path.exists(staged_manifest):
+        _discard_staged(directory)
+        return
+    try:
+        with open(staged_manifest, "rb") as f:
+            manifest = json.loads(f.read().decode("utf-8"))
+        files = dict(manifest["files"])
+    except (ValueError, KeyError, TypeError, OSError):
+        # The save died while writing the staged manifest itself; the old
+        # generation is untouched and authoritative.
+        _discard_staged(directory)
+        return
+
+    for name, digest in files.items():
+        path = os.path.join(directory, name)
+        if _file_digest(path) == digest:
+            continue
+        if _file_digest(path + ".new") == digest:
+            continue
+        # A staged file is missing or mangled: the new generation cannot
+        # be completed, keep the old one.
+        _discard_staged(directory)
+        return
+
+    # Complete the interrupted commit.
+    for name, digest in files.items():
+        path = os.path.join(directory, name)
+        if _file_digest(path) != digest:
+            os.replace(path + ".new", path)
+        else:
+            _remove_quietly(path + ".new")
+    os.replace(staged_manifest, os.path.join(directory, _MANIFEST))
+    _fsync_directory(directory)
+
+
+def _discard_staged(directory: str) -> None:
+    for name in (*_DATA_FILES, _MANIFEST):
+        _remove_quietly(os.path.join(directory, name + ".new"))
+
+
+def _remove_quietly(path: str) -> None:
+    try:
+        os.remove(path)
+    except OSError:
+        pass
+
+
+def _verify_manifest(directory: str) -> None:
+    """Check every file against the manifest; raise StorageError if bad."""
+    manifest_path = os.path.join(directory, _MANIFEST)
+    if not os.path.exists(manifest_path):
+        # Pre-hardening hosting (no manifest): nothing to verify against.
+        return
+    manifest = _read_json(manifest_path)
+    try:
+        files = dict(manifest["files"])
+    except (KeyError, TypeError) as exc:
+        raise StorageError(manifest_path, "malformed manifest") from exc
+    for name, digest in files.items():
+        path = os.path.join(directory, name)
+        actual = _file_digest(path)
+        if actual is None:
+            raise StorageError(path, "file listed in manifest is missing")
+        if actual != digest:
+            raise StorageError(
+                path, "checksum mismatch (corrupted or tampered file)"
+            )
+
+
+def _read_text(path: str) -> str:
+    try:
+        with open(path, "rb") as f:
+            return f.read().decode("utf-8")
+    except FileNotFoundError as exc:
+        raise StorageError(path, "missing file") from exc
+    except OSError as exc:
+        raise StorageError(path, f"unreadable file ({exc})") from exc
+    except UnicodeDecodeError as exc:
+        raise StorageError(path, "file is not valid UTF-8") from exc
+
+
+def _read_json(path: str) -> dict:
+    text = _read_text(path)
+    try:
+        decoded = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise StorageError(path, f"invalid JSON ({exc})") from exc
+    if not isinstance(decoded, dict):
+        raise StorageError(path, "expected a JSON object")
+    return decoded
+
+
+def _check_version(meta: dict, path: str) -> None:
+    if meta.get("version") != _FORMAT_VERSION:
+        raise StorageError(
+            path,
+            f"unsupported format version {meta.get('version')!r} "
+            f"(expected {_FORMAT_VERSION})",
+        )
 
 
 def load_system(
     directory: str,
     master_key: bytes,
     channel: Channel | None = None,
+    fast_path: bool = True,
+    retry_policy: RetryPolicy | None = None,
 ) -> SecureXMLSystem:
-    """Rebuild a working system from a saved hosting and the master key."""
-    keyring = ClientKeyring(master_key)
+    """Rebuild a working system from a saved hosting and the master key.
 
-    with open(os.path.join(directory, "hosted.xml"), encoding="utf-8") as f:
-        hosted_root: Node = parse_fragment(f.read())
+    Runs crash recovery first, then refuses to proceed when any file
+    fails its manifest digest or does not parse — raising
+    :class:`StorageError` naming the offending file rather than ever
+    standing up a system over corrupt state.
+    """
+    _recover(directory)
+    _verify_manifest(directory)
+    keyring = ClientKeyring(master_key, fast_aes=fast_path)
+
+    hosted_path = os.path.join(directory, "hosted.xml")
+    try:
+        hosted_root: Node = parse_fragment(_read_text(hosted_path))
+    except StorageError:
+        raise
+    except (ValueError, KeyError) as exc:
+        raise StorageError(hosted_path, f"unparseable hosted tree ({exc})") from exc
     if (
         isinstance(hosted_root, Element)
         and hosted_root.tag == ENCRYPTED_DATA_TAG
         and hosted_root.attribute("block-id") is not None
     ):
-        hosted_root = EncryptedBlockNode(
-            int(hosted_root.attribute("block-id").value),
-            bytes.fromhex(hosted_root.text_value() or ""),
-        )
+        try:
+            hosted_root = EncryptedBlockNode(
+                int(hosted_root.attribute("block-id").value),
+                bytes.fromhex(hosted_root.text_value() or ""),
+            )
+        except ValueError as exc:
+            raise StorageError(
+                hosted_path, f"unparseable root block ({exc})"
+            ) from exc
     _renumber_hosted(hosted_root)
     nodes_by_id: dict[int, Node] = {}
     for node in hosted_root.iter():
@@ -144,94 +403,103 @@ def load_system(
     }
     blocks = {block_id: node.payload for block_id, node in placeholders.items()}
 
-    with open(
-        os.path.join(directory, "server_meta.json"), encoding="utf-8"
-    ) as f:
-        server_meta = json.load(f)
-    if server_meta.get("version") != _FORMAT_VERSION:
-        raise ValueError("unsupported server_meta version")
+    meta_path = os.path.join(directory, "server_meta.json")
+    server_meta = _read_json(meta_path)
+    _check_version(server_meta, meta_path)
 
-    entries: list[IndexEntry] = []
-    for record in server_meta["dsi"]:
-        entry = IndexEntry(
-            key=record["key"],
-            interval=Interval(record["low"], record["high"]),
-            member_ids=tuple(record["members"]),
-            block_id=record["block"],
-            plaintext_value=record["value"],
-            hosted_node=(
-                nodes_by_id.get(record["hosted_id"])
-                if record["hosted_id"] is not None
-                else None
-            ),
+    try:
+        entries: list[IndexEntry] = []
+        for record in server_meta["dsi"]:
+            entry = IndexEntry(
+                key=record["key"],
+                interval=Interval(record["low"], record["high"]),
+                member_ids=tuple(record["members"]),
+                block_id=record["block"],
+                plaintext_value=record["value"],
+                hosted_node=(
+                    nodes_by_id.get(record["hosted_id"])
+                    if record["hosted_id"] is not None
+                    else None
+                ),
+            )
+            entries.append(entry)
+        for record, entry in zip(server_meta["dsi"], entries):
+            if record["parent"] is not None:
+                parent = entries[record["parent"]]
+                entry.parent = parent
+                parent.children.append(entry)
+        table: dict[str, list[IndexEntry]] = {}
+        for entry in entries:
+            table.setdefault(entry.key, []).append(entry)
+        structural_index = StructuralIndex(
+            table=table,
+            block_table={
+                int(block_id): Interval(low, high)
+                for block_id, (low, high) in server_meta["block_table"].items()
+            },
+            entries=sorted(entries, key=lambda e: e.interval.low),
         )
-        entries.append(entry)
-    for record, entry in zip(server_meta["dsi"], entries):
-        if record["parent"] is not None:
-            parent = entries[record["parent"]]
-            entry.parent = parent
-            parent.children.append(entry)
-    table: dict[str, list[IndexEntry]] = {}
-    for entry in entries:
-        table.setdefault(entry.key, []).append(entry)
-    structural_index = StructuralIndex(
-        table=table,
-        block_table={
-            int(block_id): Interval(low, high)
-            for block_id, (low, high) in server_meta["block_table"].items()
-        },
-        entries=sorted(entries, key=lambda e: e.interval.low),
-    )
 
-    value_index = ValueIndex()
-    for token, flat_entries in server_meta["value_index"].items():
-        tree = BTree(min_degree=16)
-        for key, block in flat_entries:
-            tree.insert(key, block)
-        value_index.trees[token] = tree
+        value_index = ValueIndex()
+        for token, flat_entries in server_meta["value_index"].items():
+            tree = BTree(min_degree=16)
+            for key, block in flat_entries:
+                tree.insert(key, block)
+            value_index.trees[token] = tree
+    except (KeyError, TypeError, IndexError, ValueError) as exc:
+        raise StorageError(
+            meta_path, f"malformed server metadata ({exc!r})"
+        ) from exc
 
-    with open(
-        os.path.join(directory, "client_state.json"), encoding="utf-8"
-    ) as f:
-        client_state = json.load(f)
-    if client_state.get("version") != _FORMAT_VERSION:
-        raise ValueError("unsupported client_state version")
+    state_path = os.path.join(directory, "client_state.json")
+    client_state = _read_json(state_path)
+    _check_version(client_state, state_path)
 
-    occurrences = {
-        field: [(value, block) for value, block in occurrence_list]
-        for field, occurrence_list in client_state["occurrences"].items()
-    }
-    field_plans = {}
-    field_tokens = {}
-    for field, occurrence_list in sorted(occurrences.items()):
-        histogram = Counter(value for value, _ in occurrence_list)
-        if not histogram:
-            continue
-        field_plans[field] = build_field_plan(
-            field, histogram, keyring.opess_stream(field), keyring.ope
+    try:
+        occurrences = {
+            field: [(value, block) for value, block in occurrence_list]
+            for field, occurrence_list in client_state["occurrences"].items()
+        }
+        block_tags = {
+            int(block_id): bytes.fromhex(tag_hex)
+            for block_id, tag_hex in client_state.get("block_tags", {}).items()
+        }
+        field_plans = {}
+        field_tokens = {}
+        for field, occurrence_list in sorted(occurrences.items()):
+            histogram = Counter(value for value, _ in occurrence_list)
+            if not histogram:
+                continue
+            field_plans[field] = build_field_plan(
+                field, histogram, keyring.opess_stream(field), keyring.ope
+            )
+            field_tokens[field] = keyring.tag_cipher.encrypt_tag(field)
+
+        hosted = HostedDatabase(
+            hosted_root=hosted_root,
+            structural_index=structural_index,
+            value_index=value_index,
+            blocks=blocks,
+            placeholders=placeholders,
+            root_tag=client_state["root_tag"],
+            encrypted_tags=set(client_state["encrypted_tags"]),
+            plaintext_keys=set(client_state["plaintext_keys"]),
+            field_plans=field_plans,
+            field_tokens=field_tokens,
+            block_tags=block_tags,
+            decoy_count=client_state["decoy_count"],
+            secure=client_state["secure"],
+            occurrences=occurrences,
         )
-        field_tokens[field] = keyring.tag_cipher.encrypt_tag(field)
-
-    hosted = HostedDatabase(
-        hosted_root=hosted_root,
-        structural_index=structural_index,
-        value_index=value_index,
-        blocks=blocks,
-        placeholders=placeholders,
-        root_tag=client_state["root_tag"],
-        encrypted_tags=set(client_state["encrypted_tags"]),
-        plaintext_keys=set(client_state["plaintext_keys"]),
-        field_plans=field_plans,
-        field_tokens=field_tokens,
-        decoy_count=client_state["decoy_count"],
-        secure=client_state["secure"],
-        occurrences=occurrences,
-    )
-    scheme = EncryptionScheme(
-        kind=client_state["scheme_kind"],
-        block_root_ids=frozenset(),
-        covered_fields=frozenset(client_state["covered_fields"]),
-    )
+        scheme = EncryptionScheme(
+            kind=client_state["scheme_kind"],
+            block_root_ids=frozenset(),
+            covered_fields=frozenset(client_state["covered_fields"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageError(
+            state_path, f"malformed client state ({exc!r})"
+        ) from exc
     hosting_trace = HostingTrace(
         scheme_kind=scheme.kind,
         scheme_size_nodes=0,
@@ -244,11 +512,17 @@ def load_system(
         value_index_entries=value_index.total_entries(),
     )
     return SecureXMLSystem(
-        client=Client(keyring, hosted),
-        server=Server(hosted),
+        client=Client(keyring, hosted, enable_cache=fast_path),
+        server=Server(
+            hosted,
+            enable_cache=fast_path,
+            session_keys=keyring.session_keys(),
+        ),
         hosted=hosted,
         scheme=scheme,
         channel=channel or Channel(),
         hosting_trace=hosting_trace,
         keyring=keyring,
+        fast_path=fast_path,
+        retry_policy=retry_policy,
     )

@@ -12,6 +12,7 @@ the client.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field as dataclass_field
 from typing import Optional
@@ -19,14 +20,59 @@ from typing import Optional
 from repro.core.client import Client, QueryAnswer
 from repro.core.constraints import SecurityConstraint
 from repro.core.encryptor import HostedDatabase, host_database
+from repro.core.integrity import IntegrityError
 from repro.core.scheme import EncryptionScheme, build_scheme
 from repro.core.server import Server, ServerResponse
 from repro.crypto.keyring import ClientKeyring
 from repro.netsim.channel import Channel
+from repro.netsim.faults import TransferDropped
+from repro.perf import counters
 from repro.xmldb.node import Document
 from repro.xpath.compiler import UnsupportedQuery
 
 _DEFAULT_MASTER_KEY = b"repro-demo-master-key-0123456789"
+
+#: Failures the retry loop treats as transient wire/server trouble.
+_RETRYABLE = (IntegrityError, TransferDropped)
+
+
+class QueryFailedError(RuntimeError):
+    """A query exhausted its retries (and fallback) without an answer.
+
+    Raised instead of ever returning a possibly-wrong answer: under the
+    untrusted-server posture the outcome of a query is always either the
+    exact plaintext answer or a typed error.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/deadline parameters for one query exchange.
+
+    Backoff is *modelled* (recorded in the trace and counted against the
+    deadline, like the channel's wire time) rather than slept, so chaos
+    sweeps with thousands of retries stay fast.  The jitter stream is
+    seeded, keeping the whole failure handling deterministic: same seed,
+    same faults, same schedule of retries.
+    """
+
+    max_attempts: int = 4
+    naive_attempts: int = 2
+    base_backoff_s: float = 0.01
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 1.0
+    jitter: float = 0.5  # each delay is scaled by 1 - jitter*U[0,1)
+    deadline_s: float = 30.0
+    naive_fallback: bool = True
+    seed: int = 0
+
+    def backoff_for(self, retry_index: int, rng: random.Random) -> float:
+        """Modelled delay before retry number ``retry_index`` (0-based)."""
+        delay = min(
+            self.max_backoff_s,
+            self.base_backoff_s * self.backoff_multiplier**retry_index,
+        )
+        return delay * (1.0 - self.jitter * rng.random())
 
 
 @dataclass
@@ -45,6 +91,13 @@ class QueryTrace:
     fragments_returned: int = 0
     answer_count: int = 0
     candidate_counts: dict[str, int] = dataclass_field(default_factory=dict)
+    # --- fault handling (untrusted-server hardening) ---
+    attempts: int = 0
+    retries: int = 0
+    integrity_failures: int = 0
+    drops: int = 0
+    fell_back: bool = False
+    backoff_s: float = 0.0
 
     @property
     def client_s(self) -> float:
@@ -57,8 +110,8 @@ class QueryTrace:
 
     @property
     def total_s(self) -> float:
-        """End-to-end query time including modelled wire time."""
-        return self.client_s + self.server_s + self.transfer_s
+        """End-to-end query time including modelled wire + backoff time."""
+        return self.client_s + self.server_s + self.transfer_s + self.backoff_s
 
     def as_row(self) -> dict[str, object]:
         """Flat dict for benchmark tables."""
@@ -74,6 +127,8 @@ class QueryTrace:
             "bytes": self.transfer_bytes,
             "blocks": self.blocks_returned,
             "answers": self.answer_count,
+            "retries": self.retries,
+            "fell_back": self.fell_back,
         }
 
 
@@ -105,6 +160,7 @@ class SecureXMLSystem:
         hosting_trace: HostingTrace,
         keyring: ClientKeyring,
         fast_path: bool = True,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.client = client
         self.server = server
@@ -114,6 +170,8 @@ class SecureXMLSystem:
         self.hosting_trace = hosting_trace
         self.last_trace: QueryTrace | None = None
         self.last_batch_traces: list[QueryTrace] = []
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._backoff_rng = random.Random(self.retry_policy.seed)
         self._keyring = keyring
         self._fast_path = fast_path
 
@@ -130,6 +188,7 @@ class SecureXMLSystem:
         channel: Channel | None = None,
         secure: bool = True,
         fast_path: bool = True,
+        retry_policy: RetryPolicy | None = None,
     ) -> "SecureXMLSystem":
         """Encrypt ``document`` under the given scheme and stand up a system.
 
@@ -167,14 +226,28 @@ class SecureXMLSystem:
         )
         return cls(
             client=Client(keyring, hosted, enable_cache=fast_path),
-            server=Server(hosted, enable_cache=fast_path),
+            server=Server(
+                hosted,
+                enable_cache=fast_path,
+                session_keys=keyring.session_keys(),
+            ),
             hosted=hosted,
             scheme=scheme_obj,
             channel=channel or Channel(),
             hosting_trace=hosting_trace,
             keyring=keyring,
             fast_path=fast_path,
+            retry_policy=retry_policy,
         )
+
+    def flush_caches(self) -> None:
+        """Drop every client- and server-side warm-path cache.
+
+        Benchmarks call this between queries to measure cold per-query
+        costs (the paper's protocol has no cross-query amortization).
+        """
+        self.client.flush_caches()
+        self.server.flush_caches()
 
     # ------------------------------------------------------------------
     # Querying
@@ -184,8 +257,20 @@ class SecureXMLSystem:
 
         Queries outside the server-evaluable fragment transparently fall
         back to the naive protocol (still exact, just unpruned).
+
+        The exchange is hardened against an untrusted wire and server:
+        every payload crosses the channel as integrity-sealed bytes, a
+        failed verification or a dropped transfer is retried with
+        exponential backoff (modelled, deterministic — see
+        :class:`RetryPolicy`), a repeatedly failing translated query
+        degrades to the naive full-shipping path, and a query that cannot
+        complete before the deadline raises :class:`QueryFailedError`.
+        The outcome is always the exact answer or a typed error — never a
+        silent wrong answer.
         """
         trace = QueryTrace(query=xpath)
+        policy = self.retry_policy
+        started_wall = time.perf_counter()
 
         started = time.perf_counter()
         try:
@@ -194,19 +279,107 @@ class SecureXMLSystem:
             translated = None
         trace.translate_client_s = time.perf_counter() - started
 
-        if translated is None:
-            return self._finish_naive(xpath, trace)
+        last_error: Exception | None = None
+        if translated is not None:
+            for attempt in range(policy.max_attempts):
+                self._pre_attempt(attempt, trace, started_wall, policy)
+                try:
+                    response = self._secure_exchange(xpath, translated, trace)
+                    return self._finish(xpath, response, trace)
+                except _RETRYABLE as exc:
+                    last_error = self._record_failure(exc, trace)
+            if not policy.naive_fallback:
+                counters.queries_failed += 1
+                raise QueryFailedError(
+                    f"query failed after {trace.attempts} attempts: "
+                    f"{last_error}"
+                ) from last_error
+            trace.fell_back = True
+            counters.naive_fallbacks += 1
 
-        trace.transfer_s += self.channel.send(
-            "client->server", "query", translated.wire_size()
+        for attempt in range(policy.naive_attempts):
+            self._pre_attempt(
+                attempt if translated is None else attempt + 1,
+                trace,
+                started_wall,
+                policy,
+            )
+            try:
+                return self._finish_naive(xpath, trace)
+            except _RETRYABLE as exc:
+                last_error = self._record_failure(exc, trace)
+        counters.queries_failed += 1
+        raise QueryFailedError(
+            f"query failed after {trace.attempts} attempts "
+            f"({trace.integrity_failures} integrity failures, "
+            f"{trace.drops} drops): {last_error}"
+        ) from last_error
+
+    # ------------------------------------------------------------------
+    # Retry machinery
+    # ------------------------------------------------------------------
+    def _pre_attempt(
+        self,
+        attempt: int,
+        trace: QueryTrace,
+        started_wall: float,
+        policy: RetryPolicy,
+    ) -> None:
+        """Apply backoff before a retry and enforce the per-query deadline.
+
+        The deadline covers real client/server CPU time plus the modelled
+        wire and backoff time accumulated so far, so a hung-wire scenario
+        fails fast instead of wedging the caller.
+        """
+        if attempt > 0:
+            delay = policy.backoff_for(attempt - 1, self._backoff_rng)
+            trace.backoff_s += delay
+            counters.query_retries += 1
+            trace.retries += 1
+        elapsed = (
+            time.perf_counter() - started_wall
+            + trace.backoff_s
+            + trace.transfer_s
         )
+        if elapsed > policy.deadline_s:
+            counters.queries_failed += 1
+            raise QueryFailedError(
+                f"query deadline of {policy.deadline_s}s exceeded after "
+                f"{trace.attempts} attempts"
+            )
+        trace.attempts += 1
+
+    def _record_failure(
+        self, exc: Exception, trace: QueryTrace
+    ) -> Exception:
+        if isinstance(exc, IntegrityError):
+            counters.integrity_failures += 1
+            trace.integrity_failures += 1
+        else:
+            trace.drops += 1
+        return exc
+
+    def _secure_exchange(
+        self, xpath: str, translated, trace: QueryTrace
+    ) -> ServerResponse:
+        """One sealed request/response round trip over the channel."""
+        request = self.client.seal_request(translated, cache_key=xpath)
+        request, seconds = self.channel.transfer(
+            "client->server", "query", request
+        )
+        trace.transfer_s += seconds
 
         started = time.perf_counter()
-        response = self.server.answer(translated)
-        trace.server_s = time.perf_counter() - started
-        trace.candidate_counts = response.candidate_counts
+        sealed = self.server.answer_wire(request)
+        trace.server_s += time.perf_counter() - started
 
-        return self._finish(xpath, response, trace)
+        sealed, seconds = self.channel.transfer(
+            "server->client", "answer", sealed
+        )
+        trace.transfer_s += seconds
+        response = self.client.open_response(sealed)
+        trace.candidate_counts = response.candidate_counts
+        return response
 
     def execute_many(self, xpaths: list[str]) -> list[QueryAnswer]:
         """Answer a batch of queries through the secure pipeline.
@@ -324,16 +497,26 @@ class SecureXMLSystem:
     def naive_query(self, xpath: str) -> QueryAnswer:
         """Answer a query with the §7.3 naive baseline (ship everything)."""
         trace = QueryTrace(query=xpath)
+        trace.attempts = 1
         return self._finish_naive(xpath, trace)
 
     def _finish_naive(self, xpath: str, trace: QueryTrace) -> QueryAnswer:
         trace.naive = True
-        trace.transfer_s += self.channel.send(
-            "client->server", "query", len(xpath.encode("utf-8"))
+        request = self.client.seal_naive_request(xpath)
+        request, seconds = self.channel.transfer(
+            "client->server", "query", request
         )
+        trace.transfer_s += seconds
+
         started = time.perf_counter()
-        response = self.server.ship_all()
-        trace.server_s = time.perf_counter() - started
+        sealed = self.server.ship_all_wire(request)
+        trace.server_s += time.perf_counter() - started
+
+        sealed, seconds = self.channel.transfer(
+            "server->client", "answer", sealed
+        )
+        trace.transfer_s += seconds
+        response = self.client.open_response(sealed)
         return self._finish(xpath, response, trace)
 
     def _finish(
@@ -342,9 +525,6 @@ class SecureXMLSystem:
         trace.blocks_returned = response.blocks_shipped
         trace.fragments_returned = len(response.fragments)
         trace.transfer_bytes = response.size_bytes()
-        trace.transfer_s += self.channel.send(
-            "server->client", "answer", trace.transfer_bytes
-        )
 
         started = time.perf_counter()
         decrypted = self.client.decrypt_fragments(response)

@@ -4,9 +4,19 @@ Used as the keyed PRF underlying key derivation, the deterministic tag
 cipher's keystream, and the order-preserving encryption function's gap
 generator.  Cross-checked against the standard library ``hmac`` module in
 the test suite.
+
+:func:`hmac_sha256_fast` computes the *same function* through the
+C-backed ``hashlib`` — the integrity envelope MACs every wire payload and
+every encryption block, and the from-scratch SHA-256 costs microseconds
+per byte, which would dominate the hot query path.  The two
+implementations are asserted byte-identical in the test suite, so the
+fast variant is an implementation detail, not a different primitive.
 """
 
 from __future__ import annotations
+
+import hashlib
+import hmac as _stdlib_hmac
 
 from repro.crypto.sha256 import sha256
 
@@ -28,6 +38,19 @@ def hmac_sha256(key: bytes, message: bytes) -> bytes:
     inner_pad = bytes(byte ^ 0x36 for byte in key)
     outer_pad = bytes(byte ^ 0x5C for byte in key)
     return sha256(outer_pad + sha256(inner_pad + bytes(message)))
+
+
+def hmac_sha256_fast(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256(key, message) via ``hashlib`` (hot-path variant).
+
+    Byte-identical to :func:`hmac_sha256`; used where the MAC runs over
+    whole wire payloads on every query.
+    """
+    if not isinstance(key, (bytes, bytearray)):
+        raise TypeError("hmac key must be bytes")
+    if not isinstance(message, (bytes, bytearray)):
+        raise TypeError("hmac message must be bytes")
+    return _stdlib_hmac.new(bytes(key), bytes(message), hashlib.sha256).digest()
 
 
 def derive_key(master: bytes, label: str, *context: str) -> bytes:

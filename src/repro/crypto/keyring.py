@@ -17,7 +17,7 @@ re-derive "the same keys used for the construction of the DSI index table"
 from __future__ import annotations
 
 from repro.crypto.aes import AES128, ReferenceAES128, aes128_for_key
-from repro.crypto.hmac import derive_key
+from repro.crypto.hmac import derive_key, hmac_sha256_fast
 from repro.crypto.ope import OrderPreservingEncryption
 from repro.crypto.prf import DeterministicRandom, PRF
 from repro.crypto.vernam import DeterministicTagCipher
@@ -35,6 +35,7 @@ class ClientKeyring:
         self._ope: OrderPreservingEncryption | None = None
         self._block_cipher: AES128 | None = None
         self._block_ivs: dict[int, bytes] = {}
+        self._block_mac_key: bytes | None = None
 
     @classmethod
     def from_passphrase(cls, passphrase: str) -> "ClientKeyring":
@@ -88,6 +89,40 @@ class ClientKeyring:
         if self._ope is None:
             self._ope = OrderPreservingEncryption(derive_key(self._master, "ope"))
         return self._ope
+
+    # ------------------------------------------------------------------
+    # Integrity keys (untrusted-server hardening)
+    # ------------------------------------------------------------------
+    @property
+    def block_mac_key(self) -> bytes:
+        """MAC key for encryption-block tags.  **Never** given to the server."""
+        if self._block_mac_key is None:
+            self._block_mac_key = derive_key(self._master, "block-mac")
+        return self._block_mac_key
+
+    def block_tag(self, block_id: int, payload: bytes) -> bytes:
+        """Encrypt-then-MAC tag binding a ciphertext payload to its block id.
+
+        Computed by the client at hosting/update time and stored with the
+        server's metadata; the server cannot forge a tag for a modified
+        (or swapped) payload because it never holds :attr:`block_mac_key`.
+        """
+        return hmac_sha256_fast(
+            self.block_mac_key, block_id.to_bytes(8, "big") + payload
+        )
+
+    def session_keys(self) -> "tuple[bytes, bytes]":
+        """(request, response) MAC keys for the wire envelope.
+
+        Both are shared with the server at hosting time — they model the
+        authenticated session a real deployment would establish — so they
+        defend against *wire* tampering, while :meth:`block_tag` defends
+        against the server itself.
+        """
+        return (
+            derive_key(self._master, "request-mac"),
+            derive_key(self._master, "response-mac"),
+        )
 
     # ------------------------------------------------------------------
     # Deterministic randomness streams

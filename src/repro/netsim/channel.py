@@ -17,6 +17,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: The two documented transfer directions; anything else is a caller bug.
+DIRECTIONS = ("client->server", "server->client")
+
 
 @dataclass(frozen=True)
 class TransferRecord:
@@ -38,6 +41,11 @@ class Channel:
 
     def send(self, direction: str, label: str, size_bytes: int) -> float:
         """Record a transfer; returns the modelled wire time in seconds."""
+        if direction not in DIRECTIONS:
+            raise ValueError(
+                f"unknown transfer direction {direction!r}; "
+                f"expected one of {DIRECTIONS}"
+            )
         if size_bytes < 0:
             raise ValueError("size must be non-negative")
         seconds = (
@@ -48,6 +56,20 @@ class Channel:
             TransferRecord(direction, label, size_bytes, seconds)
         )
         return seconds
+
+    def transfer(
+        self, direction: str, label: str, payload: bytes
+    ) -> tuple[bytes, float]:
+        """Carry an actual payload across the wire.
+
+        The base channel is a perfect wire: it accounts for the bytes and
+        returns the payload unchanged.  :class:`~repro.netsim.faults
+        .FaultyChannel` overrides this to drop, delay, corrupt, truncate
+        or duplicate the payload — which is why the query pipeline ships
+        real bytes through here rather than just sizes.
+        """
+        seconds = self.send(direction, label, len(payload))
+        return payload, seconds
 
     def total_bytes(self, direction: str | None = None) -> int:
         """Bytes moved, optionally filtered by direction."""

@@ -1,0 +1,191 @@
+"""Deterministic fault injection for the modelled channel (chaos testing).
+
+A :class:`FaultPolicy` is a seeded random schedule of wire faults — drop,
+delay, corrupt-bytes, truncate, duplicate — with independent rates per
+direction.  A :class:`FaultyChannel` applies the policy to every
+:meth:`~repro.netsim.channel.Channel.transfer`, so chaos tests drive the
+*real* query path: corrupted payloads reach the real integrity envelope,
+drops reach the real retry loop.
+
+Determinism is load-bearing: the policy consumes one ``random.Random``
+stream in a fixed draw order per transfer, so the same seed, the same
+rates and the same traffic produce the identical fault schedule — and
+therefore identical retry counts in every :class:`~repro.core.system
+.QueryTrace` (asserted in ``tests/test_chaos_end_to_end.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.netsim.channel import Channel
+from repro.perf import counters
+
+
+class TransferDropped(Exception):
+    """The channel dropped a payload (modelled packet loss)."""
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-direction fault probabilities, each independently in [0, 1]."""
+
+    drop: float = 0.0
+    corrupt: float = 0.0
+    truncate: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "corrupt", "truncate", "duplicate", "delay"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1], got {rate}")
+
+    @property
+    def any(self) -> bool:
+        return bool(
+            self.drop or self.corrupt or self.truncate
+            or self.duplicate or self.delay
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, recorded in the policy's schedule."""
+
+    transfer_index: int
+    direction: str
+    kind: str  # "drop" | "corrupt" | "truncate" | "duplicate" | "delay"
+    detail: int  # byte offset (corrupt), new length (truncate), else 0
+
+
+@dataclass(frozen=True)
+class _Decision:
+    drop: bool = False
+    duplicate: bool = False
+    delay_seconds: float = 0.0
+    corrupt_offset: int | None = None
+    corrupt_xor: int = 0
+    truncate_to: int | None = None
+
+
+class FaultPolicy:
+    """Seeded schedule of wire faults, with per-direction rates.
+
+    Draw order per transfer is fixed (duplicate, delay, drop, corrupt,
+    truncate — plus the conditional detail draws), which is what makes
+    the schedule a pure function of (seed, rates, traffic).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        client_to_server: FaultRates | None = None,
+        server_to_client: FaultRates | None = None,
+        delay_seconds: float = 0.05,
+    ) -> None:
+        self.seed = seed
+        self.client_to_server = client_to_server or FaultRates()
+        self.server_to_client = server_to_client or FaultRates()
+        self.delay_seconds = delay_seconds
+        self.schedule: list[FaultEvent] = []
+        self._rng = random.Random(seed)
+        self._transfer_index = 0
+
+    @classmethod
+    def symmetric(cls, seed: int = 0, **rates: float) -> "FaultPolicy":
+        """Same :class:`FaultRates` in both directions (test convenience)."""
+        shared = FaultRates(**rates)
+        return cls(seed, client_to_server=shared, server_to_client=shared)
+
+    def rates_for(self, direction: str) -> FaultRates:
+        if direction == "client->server":
+            return self.client_to_server
+        return self.server_to_client
+
+    def decide(self, direction: str, size_bytes: int) -> _Decision:
+        """Sample the faults for one transfer (advances the schedule)."""
+        index = self._transfer_index
+        self._transfer_index += 1
+        rates = self.rates_for(direction)
+        if not rates.any:
+            return _Decision()
+        rng = self._rng
+
+        duplicate = rng.random() < rates.duplicate
+        delay = self.delay_seconds if rng.random() < rates.delay else 0.0
+        drop = rng.random() < rates.drop
+        corrupt_offset: int | None = None
+        corrupt_xor = 0
+        if rng.random() < rates.corrupt and size_bytes > 0:
+            corrupt_offset = rng.randrange(size_bytes)
+            corrupt_xor = rng.randrange(1, 256)  # never the identity flip
+        truncate_to: int | None = None
+        if rng.random() < rates.truncate and size_bytes > 0:
+            truncate_to = rng.randrange(size_bytes)
+
+        for kind, hit, detail in (
+            ("duplicate", duplicate, 0),
+            ("delay", bool(delay), 0),
+            ("drop", drop, 0),
+            ("corrupt", corrupt_offset is not None, corrupt_offset or 0),
+            ("truncate", truncate_to is not None, truncate_to or 0),
+        ):
+            if hit:
+                self.schedule.append(
+                    FaultEvent(index, direction, kind, detail)
+                )
+        return _Decision(
+            drop=drop,
+            duplicate=duplicate,
+            delay_seconds=delay,
+            corrupt_offset=corrupt_offset,
+            corrupt_xor=corrupt_xor,
+            truncate_to=truncate_to,
+        )
+
+    def schedule_signature(self) -> tuple[tuple[int, str, str, int], ...]:
+        """Hashable form of the schedule, for determinism assertions."""
+        return tuple(
+            (e.transfer_index, e.direction, e.kind, e.detail)
+            for e in self.schedule
+        )
+
+
+@dataclass
+class FaultyChannel(Channel):
+    """A :class:`Channel` that injects faults from a :class:`FaultPolicy`.
+
+    Accounting still happens for every attempt (dropped bytes were still
+    sent), and a duplicated payload is billed twice — so bandwidth sweeps
+    under faults stay honest.  Semantically a duplicate is idempotent for
+    this request/response protocol; only the accounting sees it.
+    """
+
+    policy: FaultPolicy = field(default_factory=FaultPolicy)
+
+    def transfer(
+        self, direction: str, label: str, payload: bytes
+    ) -> tuple[bytes, float]:
+        decision = self.policy.decide(direction, len(payload))
+        seconds = self.send(direction, label, len(payload))
+        if decision.duplicate:
+            seconds += self.send(direction, f"{label}+dup", len(payload))
+            counters.faults_duplicated += 1
+        if decision.delay_seconds:
+            seconds += decision.delay_seconds
+            counters.faults_delayed += 1
+        if decision.drop:
+            counters.faults_dropped += 1
+            raise TransferDropped(f"{direction} {label!r} dropped")
+        if decision.truncate_to is not None:
+            payload = payload[: decision.truncate_to]
+            counters.faults_truncated += 1
+        if decision.corrupt_offset is not None and decision.corrupt_offset < len(payload):
+            mutated = bytearray(payload)
+            mutated[decision.corrupt_offset] ^= decision.corrupt_xor
+            payload = bytes(mutated)
+            counters.faults_corrupted += 1
+        return payload, seconds

@@ -42,6 +42,16 @@ class PerfCounters:
     interval_cache_hits: int = 0
     interval_cache_misses: int = 0
     epoch_invalidations: int = 0
+    # --- untrusted-server hardening (fault channel / integrity / retry) ---
+    faults_dropped: int = 0
+    faults_corrupted: int = 0
+    faults_truncated: int = 0
+    faults_duplicated: int = 0
+    faults_delayed: int = 0
+    query_retries: int = 0
+    integrity_failures: int = 0
+    naive_fallbacks: int = 0
+    queries_failed: int = 0
 
     def snapshot(self) -> dict[str, int]:
         """Current values as a plain dict (safe to hold across resets)."""

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.netsim import Channel
+from repro.netsim import DIRECTIONS, Channel
 
 
 class TestChannel:
@@ -47,3 +47,35 @@ class TestChannel:
         channel = Channel()
         seconds = channel.send("server->client", "a", 50_000)  # 50 KB answer
         assert seconds < 0.005
+
+
+class TestDirectionValidation:
+    def test_documented_directions_accepted(self):
+        channel = Channel()
+        for direction in DIRECTIONS:
+            channel.send(direction, "q", 1)
+        assert len(channel.transfers) == len(DIRECTIONS)
+
+    @pytest.mark.parametrize(
+        "direction",
+        ["sideways", "client<-server", "CLIENT->SERVER", "", "server->server"],
+    )
+    def test_unknown_direction_rejected(self, direction):
+        with pytest.raises(ValueError, match="direction"):
+            Channel().send(direction, "q", 1)
+
+    def test_transfer_validates_direction_too(self):
+        with pytest.raises(ValueError, match="direction"):
+            Channel().transfer("upwards", "q", b"payload")
+
+    def test_rejected_send_records_nothing(self):
+        channel = Channel()
+        with pytest.raises(ValueError):
+            channel.send("sideways", "q", 10)
+        assert channel.total_bytes() == 0
+
+    def test_transfer_returns_payload_and_modelled_time(self):
+        channel = Channel(latency_seconds=1.0, bandwidth_bits_per_second=8.0)
+        payload, seconds = channel.transfer("client->server", "q", b"x")
+        assert payload == b"x"
+        assert seconds == pytest.approx(2.0)  # 1s latency + 1 byte at 1 B/s

@@ -1,0 +1,212 @@
+"""Crash-safety and corruption-detection tests for persisted hostings."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.storage import (
+    CrashInjected,
+    StorageError,
+    crash_points,
+    load_system,
+    save_system,
+    set_crash_point,
+)
+from repro.core.system import SecureXMLSystem
+
+MASTER = b"crash-test-master-key-32-bytes!!"
+PROBE = "//patient[pname='Betty']/SSN"
+
+
+@pytest.fixture(autouse=True)
+def disarm_crash_hook():
+    yield
+    set_crash_point(None)
+
+
+@pytest.fixture
+def hosted_pair(tmp_path, healthcare_doc, healthcare_scs):
+    """(v1 system, v2 system, v1 probe answer, v2 probe answer)."""
+    v1 = SecureXMLSystem.host(
+        healthcare_doc, healthcare_scs, scheme="opt", master_key=MASTER
+    )
+    v1_answer = v1.query(PROBE).values()
+    seed_dir = str(tmp_path / "seed")
+    save_system(v1, seed_dir)
+    v2 = load_system(seed_dir, MASTER)
+    v2.update_value(PROBE, "555555")
+    v2_answer = v2.query(PROBE).values()
+    assert v1_answer != v2_answer
+    return v1, v2, v1_answer, v2_answer
+
+
+class TestCrashSweep:
+    def test_killed_save_never_corrupts_previous_hosting(
+        self, tmp_path, hosted_pair
+    ):
+        """Kill the save at every protocol step: load must always succeed
+        and always see a *consistent* hosting (entirely v1 or entirely v2,
+        never a mix)."""
+        v1, v2, v1_answer, v2_answer = hosted_pair
+        for point in crash_points():
+            directory = str(tmp_path / point.replace(":", "_"))
+            save_system(v1, directory)  # the previous, intact hosting
+            set_crash_point(point)
+            with pytest.raises(CrashInjected):
+                save_system(v2, directory)
+            set_crash_point(None)
+            loaded = load_system(directory, MASTER)
+            answer = loaded.query(PROBE).values()
+            assert answer in (v1_answer, v2_answer), point
+            # Recovery must leave no staged litter behind.
+            leftovers = [
+                name for name in os.listdir(directory)
+                if name.endswith(".new")
+            ]
+            assert leftovers == [], point
+
+    def test_crash_before_commit_keeps_old_generation(
+        self, tmp_path, hosted_pair
+    ):
+        v1, v2, v1_answer, _ = hosted_pair
+        directory = str(tmp_path / "precommit")
+        save_system(v1, directory)
+        set_crash_point("stage:manifest.json")
+        with pytest.raises(CrashInjected):
+            save_system(v2, directory)
+        set_crash_point(None)
+        loaded = load_system(directory, MASTER)
+        assert loaded.query(PROBE).values() == v1_answer
+
+    def test_crash_after_staging_rolls_forward(self, tmp_path, hosted_pair):
+        v1, v2, _, v2_answer = hosted_pair
+        directory = str(tmp_path / "postcommit")
+        save_system(v1, directory)
+        set_crash_point("commit:hosted.xml")  # staged fully, published nothing
+        with pytest.raises(CrashInjected):
+            save_system(v2, directory)
+        set_crash_point(None)
+        loaded = load_system(directory, MASTER)
+        assert loaded.query(PROBE).values() == v2_answer
+
+    def test_clean_save_leaves_no_staging_files(self, tmp_path, hosted_pair):
+        v1, _, _, _ = hosted_pair
+        directory = str(tmp_path / "clean")
+        save_system(v1, directory)
+        assert sorted(os.listdir(directory)) == [
+            "client_state.json", "hosted.xml", "manifest.json",
+            "server_meta.json",
+        ]
+
+
+class TestCorruptionDetection:
+    @pytest.fixture
+    def saved(self, tmp_path, healthcare_doc, healthcare_scs):
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="opt", master_key=MASTER
+        )
+        directory = str(tmp_path / "hosting")
+        save_system(system, directory)
+        return directory
+
+    @pytest.mark.parametrize(
+        "victim", ["hosted.xml", "server_meta.json", "client_state.json"]
+    )
+    def test_flipped_byte_names_the_bad_file(self, saved, victim):
+        path = os.path.join(saved, victim)
+        with open(path, "rb") as f:
+            data = bytearray(f.read())
+        data[len(data) // 2] ^= 0x01
+        with open(path, "wb") as f:
+            f.write(bytes(data))
+        with pytest.raises(StorageError) as excinfo:
+            load_system(saved, MASTER)
+        assert victim in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "victim", ["hosted.xml", "server_meta.json", "client_state.json"]
+    )
+    def test_missing_file_names_the_bad_file(self, saved, victim):
+        os.remove(os.path.join(saved, victim))
+        with pytest.raises(StorageError) as excinfo:
+            load_system(saved, MASTER)
+        assert victim in str(excinfo.value)
+
+    def test_malformed_manifest_rejected(self, saved):
+        path = os.path.join(saved, "manifest.json")
+        with open(path, "w") as f:
+            f.write('{"version": 2}')  # no "files" key
+        with pytest.raises(StorageError, match="manifest"):
+            load_system(saved, MASTER)
+
+    def test_invalid_json_wrapped_without_manifest(self, saved):
+        """The load-path JSON errors surface as StorageError + path even
+        for a legacy hosting that has no manifest to fail first."""
+        os.remove(os.path.join(saved, "manifest.json"))
+        path = os.path.join(saved, "server_meta.json")
+        with open(path, "w") as f:
+            f.write("{not json")
+        with pytest.raises(StorageError) as excinfo:
+            load_system(saved, MASTER)
+        assert "server_meta.json" in str(excinfo.value)
+        assert "JSON" in str(excinfo.value)
+
+    def test_missing_key_wrapped_without_manifest(self, saved):
+        os.remove(os.path.join(saved, "manifest.json"))
+        path = os.path.join(saved, "server_meta.json")
+        with open(path) as f:
+            meta = json.load(f)
+        del meta["dsi"]
+        with open(path, "w") as f:
+            json.dump(meta, f)
+        with pytest.raises(StorageError) as excinfo:
+            load_system(saved, MASTER)
+        assert "server_meta.json" in str(excinfo.value)
+
+    def test_storage_error_is_a_value_error(self):
+        assert issubclass(StorageError, ValueError)
+
+    def test_stale_staged_files_are_discarded_on_load(self, saved):
+        stale = os.path.join(saved, "hosted.xml.new")
+        with open(stale, "w") as f:
+            f.write("<garbage/>")
+        system = load_system(saved, MASTER)
+        assert not os.path.exists(stale)
+        assert system.query("//SSN").canonical()
+
+
+class TestCliDiagnostics:
+    def test_corrupt_hosting_exits_nonzero_with_one_line(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        directory = str(tmp_path / "hosting")
+        assert main(
+            ["host", "--workload", "healthcare", "--save", directory]
+        ) == 0
+        capsys.readouterr()
+        path = os.path.join(directory, "hosted.xml")
+        with open(path, "rb") as f:
+            data = bytearray(f.read())
+        data[10] ^= 0xFF
+        with open(path, "wb") as f:
+            f.write(bytes(data))
+
+        exit_code = main(["query", "--load", directory, "//SSN"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert captured.out == ""
+        error_lines = captured.err.strip().splitlines()
+        assert len(error_lines) == 1
+        assert "hosted.xml" in error_lines[0]
+
+    def test_missing_directory_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        missing = str(tmp_path / "nope")
+        exit_code = main(["query", "--load", missing, "//SSN"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "nope" in captured.err
