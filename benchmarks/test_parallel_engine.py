@@ -1,0 +1,189 @@
+"""E-parallel — throughput benchmark for the parallel query engine.
+
+Head-to-head on the XMark workload: the serial engine (``parallel=False``,
+exactly the pre-parallel pipeline) against the parallel engine across a
+worker sweep.  The headline number is **warm repeated-query throughput**
+— the production shape the roadmap targets, a traffic stream where query
+strings repeat — where the parallel engine's completed-exchange memo
+serves clones without touching the wire while the serial engine re-runs
+decrypt/assemble/evaluate per repeat.  Cold (first-contact) batches are
+reported too; they are dominated by single-visit crypto either way, so
+no speedup floor is asserted there.
+
+Every measured pass is checked byte-identical against the serial
+answers first — a throughput win that changed an answer would be a bug,
+not a result.  Results land in ``benchmarks/results/`` (human-readable)
+and machine-readable ``BENCH_parallel.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+
+import pytest
+
+from repro.bench.harness import format_table, trimmed_mean
+from repro.core.system import SecureXMLSystem
+from repro.perf import counters
+from repro.workloads.xmark import xmark_constraints
+from repro.xpath.compiler import UnsupportedQuery
+
+from conftest import BENCH_TRIALS, write_result
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_parallel.json")
+MASTER_KEY = b"parallel-benchmark-master-key-01"
+
+#: worker counts swept (0 = the serial engine, the baseline)
+WORKER_SWEEP = (0, 1, 2, 4)
+
+#: how many times each query repeats inside one warm batch
+REPEATS = 4
+
+_REPORT: dict[str, object] = {"trials": BENCH_TRIALS, "repeats": REPEATS}
+
+
+def _write_report() -> None:
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(_REPORT, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+@pytest.fixture(scope="module")
+def parallel_queries(xmark_doc, xmark_queries):
+    """Server-evaluable Qs+Qm queries, repeated into a traffic batch."""
+    probe = SecureXMLSystem.host(
+        xmark_doc, xmark_constraints(), scheme="opt", master_key=MASTER_KEY
+    )
+    unique = []
+    for query_class in ("Qs", "Qm"):
+        for query in xmark_queries[query_class]:
+            try:
+                probe.client.translate(query)
+            except UnsupportedQuery:
+                continue
+            if query not in unique:
+                unique.append(query)
+    assert unique, "workload produced no server-evaluable queries"
+    return unique * REPEATS
+
+
+@pytest.fixture(scope="module")
+def swept_systems(xmark_doc):
+    """One hosted system per swept worker count, identical hosted bytes."""
+    constraints = xmark_constraints()
+    systems = {
+        workers: SecureXMLSystem.host(
+            xmark_doc,
+            constraints,
+            scheme="opt",
+            master_key=MASTER_KEY,
+            parallel=False if workers == 0 else workers,
+        )
+        for workers in WORKER_SWEEP
+    }
+    yield systems
+    for system in systems.values():
+        system.close()
+
+
+def test_parallel_warm_throughput(swept_systems, parallel_queries):
+    """4 workers deliver ≥2× the serial warm-query throughput on XMark."""
+    queries = parallel_queries
+    reference: list[list[str]] | None = None
+    sweep: list[dict[str, float]] = []
+
+    for workers, system in swept_systems.items():
+        # Cold pass: first execution ever on this system (also warms it).
+        started = time.perf_counter()
+        answers = system.execute_many(queries)
+        cold_s = time.perf_counter() - started
+
+        canonical = [answer.canonical() for answer in answers]
+        if reference is None:
+            reference = canonical
+        else:
+            assert canonical == reference, (
+                f"{workers}-worker answers diverged from serial"
+            )
+
+        # timeit's protocol: answers are node graphs with parent/child
+        # reference cycles, so every discarded batch otherwise triggers
+        # cyclic-collector traversals mid-sample that swamp the signal.
+        gc.collect()
+        gc.disable()
+        try:
+            warm_samples = []
+            for _ in range(BENCH_TRIALS):
+                started = time.perf_counter()
+                warm_answers = system.execute_many(queries)
+                warm_samples.append(time.perf_counter() - started)
+        finally:
+            gc.enable()
+        warm_s = trimmed_mean(warm_samples)
+        assert [a.canonical() for a in warm_answers] == reference
+
+        sweep.append(
+            {
+                "workers": workers,
+                "cold_batch_s": cold_s,
+                "warm_batch_s": warm_s,
+                "warm_queries_per_s": len(queries) / warm_s,
+            }
+        )
+
+    serial = sweep[0]
+    for point in sweep:
+        point["warm_speedup_vs_serial"] = (
+            serial["warm_batch_s"] / point["warm_batch_s"]
+        )
+
+    rows = [
+        [
+            ("serial" if p["workers"] == 0 else f"{p['workers']} workers"),
+            p["cold_batch_s"],
+            p["warm_batch_s"],
+            p["warm_queries_per_s"],
+            p["warm_speedup_vs_serial"],
+        ]
+        for p in sweep
+    ]
+    write_result(
+        "parallel_warm_throughput",
+        format_table(
+            ["engine", "t_cold", "t_warm", "q/s warm", "speedup"],
+            rows,
+            f"Parallel engine — batch of {len(queries)} XMark queries "
+            f"({len(queries) // REPEATS} unique × {REPEATS})",
+        ),
+    )
+    _REPORT["warm_throughput"] = {
+        "query_count": len(queries),
+        "unique_queries": len(queries) // REPEATS,
+        "sweep": sweep,
+    }
+    _write_report()
+
+    at_four = next(p for p in sweep if p["workers"] == 4)
+    assert at_four["warm_speedup_vs_serial"] >= 2.0, (
+        f"warm speedup {at_four['warm_speedup_vs_serial']:.2f}x below the "
+        "2x acceptance floor"
+    )
+
+
+def test_parallel_engine_exercises_new_machinery(
+    swept_systems, parallel_queries
+):
+    """The sweep actually drove the streaming/memo paths (not a no-op)."""
+    system = swept_systems[4]
+    before = counters.snapshot()
+    system.execute_many(parallel_queries)
+    delta = counters.delta_since(before)
+    assert delta["answer_cache_hits"] > 0, "memo never served a repeat"
+    _REPORT["machinery"] = {
+        "warm_batch_delta": {k: v for k, v in delta.items() if v},
+    }
+    _write_report()

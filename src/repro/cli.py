@@ -75,6 +75,23 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         "--key", default=None,
         help="master-key passphrase (defaults to the demo key)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker count for the parallel query engine "
+        "(default: $REPRO_WORKERS, 0 disables)",
+    )
+
+
+def _parallel(args: argparse.Namespace):
+    """``--workers`` value, shaped for ``SecureXMLSystem.host(parallel=)``.
+
+    ``None`` (flag absent) defers to ``REPRO_WORKERS``; an explicit 0
+    forces the serial engine.
+    """
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        return None
+    return False if workers <= 0 else workers
 
 
 def _master_key(args: argparse.Namespace) -> bytes:
@@ -119,7 +136,7 @@ def cmd_host(args: argparse.Namespace) -> int:
     print(f"workload {args.workload}: {document.size()} nodes")
     system = SecureXMLSystem.host(
         document, constraints, scheme=args.scheme,
-        master_key=_master_key(args),
+        master_key=_master_key(args), parallel=_parallel(args),
     )
     _print_hosting(system)
     if args.save:
@@ -146,7 +163,8 @@ def cmd_query(args: argparse.Namespace) -> int:
             args.workload, args.size, args.seed
         )
         system = SecureXMLSystem.host(
-            document, constraints, scheme=args.scheme
+            document, constraints, scheme=args.scheme,
+            parallel=_parallel(args),
         )
     answer = system.query(args.xpath)
     print(f"answers ({len(answer)}):")

@@ -19,12 +19,15 @@ import hmac as _compare
 from repro.core.decoy import remove_decoys
 from repro.core.encryptor import HostedDatabase
 from repro.core.integrity import TamperedResponseError, seal, unseal
+from repro.core.parallel import WorkerPool
 from repro.core.server import Fragment, ServerResponse
 from repro.core.translate import PlanCache, QueryTranslator, TranslatedQuery
 from repro.crypto.keyring import ClientKeyring
 from repro.crypto.modes import cbc_decrypt
 from repro.netsim.message import (
     MessageDecodeError,
+    StreamChunk,
+    decode_chunk,
     decode_response,
     encode_query,
 )
@@ -50,6 +53,21 @@ class QueryAnswer:
 
     nodes: list[Node]
     pruned_document: Document
+
+    def clone(self) -> "QueryAnswer":
+        """Independent deep copy (fresh document, relocated answer nodes).
+
+        The parallel engine's answer memo hands out clones so a caller
+        mutating one answer can never corrupt another — one document
+        clone relocates every answer node through the clone map, with no
+        re-evaluation of the query.
+        """
+        document = self.pruned_document.clone_numbered()
+        relocate = document.node_by_id
+        return QueryAnswer(
+            nodes=[relocate(node.node_id) for node in self.nodes],
+            pruned_document=document,
+        )
 
     def canonical(self) -> list[str]:
         """Order-insensitive canonical form, for comparing answer sets."""
@@ -117,6 +135,13 @@ class Client:
             {} if enable_cache else None
         )
         self._response_cache: dict[bytes, ServerResponse] | None = (
+            {} if enable_cache else None
+        )
+        #: verified stream chunks keyed by their sealed bytes — the
+        #: streamed twin of ``_response_cache`` (the server's stream
+        #: cache replays identical bytes objects, so a warm chunk costs
+        #: one cached-hash dict lookup)
+        self._chunk_cache: dict[bytes, StreamChunk] | None = (
             {} if enable_cache else None
         )
         self._verified_payloads: dict[int, bytes] | None = (
@@ -202,6 +227,31 @@ class Client:
             self._response_cache[blob] = response
         return response
 
+    def open_chunk(self, blob: bytes) -> StreamChunk:
+        """Verify and decode one sealed stream chunk.
+
+        Same failure surface as :meth:`open_response`: any byte-level
+        difference from what the server sealed raises
+        :class:`~repro.core.integrity.TamperedResponseError` before a
+        byte is parsed.  Sequencing (the header's chunk/fragment totals
+        against each chunk's stream index) is the *caller's* job — the
+        system validates it while pulling the stream, so a dropped or
+        reordered chunk surfaces as the same typed error and retries.
+        """
+        if self._chunk_cache is not None:
+            self._check_epoch()
+            cached = self._chunk_cache.get(blob)
+            if cached is not None:
+                return cached
+        payload = unseal(self._response_key, blob)
+        try:
+            chunk = decode_chunk(payload)
+        except MessageDecodeError as exc:
+            raise TamperedResponseError(str(exc)) from exc
+        if self._chunk_cache is not None:
+            self._chunk_cache[blob] = chunk
+        return chunk
+
     def _verify_block(self, block_id: int, payload: bytes) -> None:
         """Check a ciphertext payload against its encrypt-then-MAC tag.
 
@@ -218,7 +268,7 @@ class Client:
                 return
         actual = self._keyring.block_tag(block_id, payload)
         if not _compare.compare_digest(actual, expected):
-            counters.integrity_failures += 1
+            counters.add("integrity_failures")
             raise TamperedResponseError(
                 f"block {block_id} failed integrity verification"
             )
@@ -228,17 +278,156 @@ class Client:
     # ------------------------------------------------------------------
     # Decryption (§6.4, first half)
     # ------------------------------------------------------------------
-    def decrypt_fragments(self, response: ServerResponse) -> list[tuple[Fragment, Element]]:
+    def decrypt_fragments(
+        self,
+        response: ServerResponse,
+        pool: "WorkerPool | None" = None,
+    ) -> list[tuple[Fragment, Element]]:
         """Parse and fully decrypt every shipped fragment.
 
         Each fragment becomes a plaintext element tree: nested
         ``EncryptedData`` payloads are decrypted and spliced in, and decoys
         are stripped.
+
+        With a worker ``pool`` the per-fragment work fans out and the
+        results are re-ordered to input order, so the returned list is
+        identical to the serial one.  The thread backend maps whole
+        fragments (the shared caches stay warm across workers); the
+        process backend cannot share live trees, so it bulk-ships only
+        the raw CBC decryptions and keeps parsing and splicing here.
         """
+        if pool is None or pool.workers < 2 or len(response.fragments) < 2:
+            return [
+                (fragment, self._fragment_tree(fragment.xml))
+                for fragment in response.fragments
+            ]
+        if pool.backend == "process":
+            return self._decrypt_fragments_bulk(response, pool)
+        counters.add("parallel_decrypt_tasks", len(response.fragments))
+        trees = pool.map_ordered(
+            self._fragment_tree, [f.xml for f in response.fragments]
+        )
+        return list(zip(response.fragments, trees))
+
+    def _decrypt_fragments_bulk(
+        self, response: ServerResponse, pool: "WorkerPool"
+    ) -> list[tuple[Fragment, Element]]:
+        """Process-backend fragment decryption: bulk-ship the CBC work.
+
+        Tag verification stays on this thread (the MAC key and the
+        expected tags never leave the client's address space needlessly),
+        parsing and decoy-stripping stay here too (trees don't pickle
+        cheaply), and only the deduplicated ``(key, iv, payload)``
+        decryptions cross the process boundary.
+        """
+        fragments = list(response.fragments)
+        results: list[Element | None] = [None] * len(fragments)
+        if self._tree_cache is not None:
+            self._check_epoch()
+        parsed: list[tuple[int, Element]] = []
+        for index, fragment in enumerate(fragments):
+            if self._tree_cache is not None:
+                cached = self._tree_cache.get(fragment.xml)
+                if cached is not None:
+                    counters.add("tree_cache_hits")
+                    results[index] = cached.clone()
+                    continue
+                counters.add("tree_cache_misses")
+            parsed.append((index, parse_fragment(fragment.xml)))
+
+        # Verify every ciphertext (cache hits included — a tampered
+        # payload must never be masked by a stale cached plaintext),
+        # then queue exactly one decryption per cache-missing block.
+        jobs: dict[int, tuple[bytes, bytes]] = {}
+        for _, root in parsed:
+            for block_id, payload in self._iter_block_payloads(root):
+                self._verify_block(block_id, payload)
+                if (
+                    self._block_cache is not None
+                    and block_id in self._block_cache
+                ):
+                    counters.add("block_cache_hits")
+                    continue
+                if block_id not in jobs:
+                    iv = self._keyring.block_iv(
+                        block_id if self._secure else 0
+                    )
+                    jobs[block_id] = (iv, payload)
+        plain: dict[int, Element] = {}
+        if jobs:
+            key = self._keyring.block_key_bytes()
+            order = list(jobs)
+            tasks = [(key,) + jobs[block_id] for block_id in order]
+            counters.add("parallel_decrypt_tasks", len(tasks))
+            counters.add("block_cache_misses", len(tasks))
+            plaintexts = pool.map_ordered(_decrypt_block_payload, tasks)
+            if len(tasks) >= 2:
+                # The workers' own counters die with their processes, so
+                # the CBC block count is credited here with the mode's
+                # formula.  A single task ran inline in this process and
+                # already counted itself.
+                counters.add(
+                    "blocks_decrypted",
+                    sum(len(jobs[b][1]) // 16 for b in order),
+                )
+            for block_id, plaintext in zip(order, plaintexts):
+                subtree = parse_fragment(plaintext.decode("utf-8"))
+                plain[block_id] = subtree
+                if self._block_cache is not None:
+                    self._block_cache[block_id] = subtree
+
+        def subtree_for(block_id: int) -> Element:
+            if self._block_cache is not None:
+                cached = self._block_cache.get(block_id)
+                if cached is not None:
+                    return cached.clone()
+            return plain[block_id].clone()
+
+        for index, root in parsed:
+            if root.tag == ENCRYPTED_DATA_TAG:
+                attribute = root.attribute("block-id")
+                assert attribute is not None
+                tree = subtree_for(int(attribute.value))
+            else:
+                tree = root
+            for node in list(tree.iter()):
+                if isinstance(node, EncryptedBlockNode):
+                    node.replace_with(subtree_for(node.block_id))
+            # Nested blocks surfaced *by* a decryption (none in the
+            # current encryptor, but the serial path tolerates them)
+            # fall back to the serial per-block machinery.
+            self._decrypt_placeholders(tree)
+            remove_decoys(tree)
+            if self._tree_cache is not None:
+                self._tree_cache[fragments[index].xml] = tree
+                results[index] = tree.clone()
+            else:
+                results[index] = tree
         return [
-            (fragment, self._fragment_tree(fragment.xml))
-            for fragment in response.fragments
+            (fragments[i], results[i])  # type: ignore[misc]
+            for i in range(len(fragments))
         ]
+
+    def _iter_block_payloads(self, root: Element):
+        """Yield every ``(block_id, ciphertext)`` a parsed fragment needs."""
+        if root.tag == ENCRYPTED_DATA_TAG:
+            attribute = root.attribute("block-id")
+            assert attribute is not None
+            yield int(attribute.value), bytes.fromhex(root.text_value() or "")
+            return
+        for node in root.iter():
+            if isinstance(node, EncryptedBlockNode):
+                yield node.block_id, node.payload
+
+    def decrypt_fragment(self, xml: str) -> Element:
+        """Decrypt one shipped fragment (the streaming pipeline's unit).
+
+        Thread-safe under the worker pool: the caches it touches are
+        plain dicts mutated with single (GIL-atomic) get/set operations
+        on immutable keys, so the worst concurrent outcome is two workers
+        building the same pristine tree and one harmlessly winning.
+        """
+        return self._fragment_tree(xml)
 
     def _fragment_tree(self, xml: str) -> Element:
         """Decrypted plaintext tree for one shipped fragment, via the cache.
@@ -255,9 +444,9 @@ class Client:
         self._check_epoch()
         cached = self._tree_cache.get(xml)
         if cached is not None:
-            counters.tree_cache_hits += 1
+            counters.add("tree_cache_hits")
             return cached.clone()
-        counters.tree_cache_misses += 1
+        counters.add("tree_cache_misses")
         tree = self._build_fragment_tree(xml)
         self._tree_cache[xml] = tree
         return tree.clone()
@@ -291,8 +480,14 @@ class Client:
             self._request_cache.clear()
         if self._response_cache is not None:
             self._response_cache.clear()
+        if self._chunk_cache is not None:
+            self._chunk_cache.clear()
         if self._verified_payloads is not None:
             self._verified_payloads.clear()
+        # The keyring memoizes per-block IV derivations; a "cold" query
+        # that skipped those HMACs was not actually cold (found by the
+        # flush-coverage audit; see tests/test_parallel_engine.py).
+        self._keyring.flush_memoized()
 
     def _resolve_encrypted_root(self, root: Element) -> Element:
         if root.tag != ENCRYPTED_DATA_TAG:
@@ -322,9 +517,9 @@ class Client:
             return self._decrypt_block_uncached(block_id, payload)
         cached = self._block_cache.get(block_id)
         if cached is not None:
-            counters.block_cache_hits += 1
+            counters.add("block_cache_hits")
             return cached.clone()
-        counters.block_cache_misses += 1
+        counters.add("block_cache_misses")
         subtree = self._decrypt_block_uncached(block_id, payload)
         self._block_cache[block_id] = subtree
         return subtree.clone()
@@ -397,3 +592,16 @@ class Client:
         """Apply the original query to the pruned plaintext document."""
         nodes = evaluate(pruned, query)
         return QueryAnswer(nodes=nodes, pruned_document=pruned)
+
+
+def _decrypt_block_payload(task: "tuple[bytes, bytes, bytes]") -> bytes:
+    """One ``(key, iv, ciphertext)`` CBC decryption, pool-worker shaped.
+
+    Module-level (and fed plain bytes) so a ``ProcessPoolExecutor`` can
+    pickle it; :func:`repro.crypto.aes.aes128_for_key` memoizes the key
+    expansion per process, so a warm worker pays it once.
+    """
+    key, iv, payload = task
+    from repro.crypto.aes import aes128_for_key
+
+    return cbc_decrypt(aes128_for_key(key), iv, payload)

@@ -25,6 +25,7 @@ explicit parent pointer per entry via a single stack sweep.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -147,6 +148,12 @@ class StructuralIndex:
     _lows_by_key: dict[str, list[float]] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: guards first-build of the lazy arrays: sharded (multi-worker)
+    #: evaluation probes them concurrently, and without the lock every
+    #: worker would re-sort the same static data on a cold key
+    _lows_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def lookup(self, key: str) -> list[IndexEntry]:
         """Intervals registered under a (translated) tag."""
@@ -171,18 +178,24 @@ class StructuralIndex:
 
         cached = self._lows_by_key.get(key)
         if cached is not None:
-            counters.interval_cache_hits += 1
+            counters.add("interval_cache_hits")
             return cached
-        counters.interval_cache_misses += 1
-        lows = sorted(
-            entry.interval.low for entry in self.table.get(key, [])
-        )
-        self._lows_by_key[key] = lows
-        return lows
+        with self._lows_lock:
+            cached = self._lows_by_key.get(key)
+            if cached is not None:
+                counters.add("interval_cache_hits")
+                return cached
+            counters.add("interval_cache_misses")
+            lows = sorted(
+                entry.interval.low for entry in self.table.get(key, [])
+            )
+            self._lows_by_key[key] = lows
+            return lows
 
     def invalidate_caches(self) -> None:
         """Drop the static-data caches (called on every epoch bump)."""
-        self._lows_by_key.clear()
+        with self._lows_lock:
+            self._lows_by_key.clear()
 
     def block_of(self, entry: IndexEntry) -> Optional[int]:
         """Resolve which encryption block an entry falls inside, if any.

@@ -90,7 +90,7 @@ class HostedDatabase:
 
         self.epoch += 1
         self.structural_index.invalidate_caches()
-        counters.epoch_invalidations += 1
+        counters.add("epoch_invalidations")
 
     def hosted_size_bytes(self) -> int:
         """Size of the serialized hosted database, |E(D)|."""

@@ -1,0 +1,255 @@
+"""Parallel execution layer: worker pools, sharded filtering, knobs.
+
+The paper's client/server split (§6, Fig. 8) leaves each query strictly
+sequential: the server joins, then ships, then the client decrypts.  The
+stages are independently schedulable — the server's structural join works
+on public metadata while the client's decryption works on ciphertext it
+already holds — so this module supplies the machinery to overlap them
+without changing a byte of what the server learns:
+
+* :class:`ParallelConfig` — the knob surface (``REPRO_WORKERS`` env /
+  ``--workers`` CLI / ``parallel=`` API), including the ``parallel=False``
+  escape hatch that preserves the exact serial behaviour;
+* :class:`WorkerPool` — a lazy, ``concurrent.futures``-backed pool
+  (thread- or process-backed) with order-preserving fan-out, so results
+  are deterministically re-ordered to match serial execution;
+* :func:`filter_shards` — order-preserving parallel filtering over the
+  interval-sorted DSI candidate lists (the server's "sharded evaluation"
+  primitive; the contiguous spans come from :func:`shard_spans`).
+
+Everything here is *mechanism*; policy (when to stream, when to shard)
+lives with the callers in :mod:`repro.core.system`, :mod:`repro.core.server`
+and :mod:`repro.core.client`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment knob read by :meth:`ParallelConfig.from_env`.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Worker count used for ``parallel=True`` when the environment is silent.
+DEFAULT_WORKERS = 4
+
+_BACKENDS = ("thread", "process")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Configuration of the parallel query engine.
+
+    ``workers == 0`` disables the engine entirely: every pipeline takes
+    the exact serial code path of the pre-parallel system (the comparison
+    baseline the benchmarks measure against).  ``workers >= 1`` enables
+    the streaming protocol, the worker pool and the answer memo; with one
+    worker the pipeline machinery runs but degenerates to serial order,
+    which is the cheap way to test the machinery itself.
+    """
+
+    workers: int = 0
+    backend: str = "thread"
+    #: fragments per streamed response chunk (server→client)
+    chunk_fragments: int = 8
+    #: smallest candidate list worth sharding across workers
+    min_shard: int = 64
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown pool backend {self.backend!r}; "
+                f"expected one of {_BACKENDS}"
+            )
+        if self.chunk_fragments < 1:
+            raise ValueError("chunk_fragments must be >= 1")
+        if self.min_shard < 1:
+            raise ValueError("min_shard must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return self.workers >= 1
+
+    @classmethod
+    def from_env(cls) -> "ParallelConfig":
+        """Read ``REPRO_WORKERS`` (unset / 0 → disabled)."""
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return cls(workers=0)
+        try:
+            workers = int(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from exc
+        return cls(workers=max(0, workers))
+
+    @classmethod
+    def coerce(cls, parallel: Any) -> "ParallelConfig":
+        """Normalize the ``parallel=`` argument accepted by the system.
+
+        ``None`` defers to the environment, ``False`` forces serial,
+        ``True`` asks for :data:`DEFAULT_WORKERS`, an ``int`` names the
+        worker count, and a :class:`ParallelConfig` passes through.
+        """
+        if parallel is None:
+            return cls.from_env()
+        if isinstance(parallel, ParallelConfig):
+            return parallel
+        if parallel is False:
+            return cls(workers=0)
+        if parallel is True:
+            return cls(workers=DEFAULT_WORKERS)
+        if isinstance(parallel, int):
+            return cls(workers=max(0, parallel))
+        raise TypeError(
+            "parallel must be None, a bool, an int worker count or a "
+            f"ParallelConfig, got {type(parallel).__name__}"
+        )
+
+
+class WorkerPool:
+    """A lazily started, order-preserving ``concurrent.futures`` pool.
+
+    The executor is created on first use (hosting a system must not cost
+    threads the caller never exercises) and shut down by :meth:`close`.
+    ``map_ordered`` is the workhorse: it fans ``fn`` over ``items`` and
+    returns results *in input order*, which is what makes every parallel
+    pipeline byte-identical to its serial twin — parallelism changes the
+    schedule, never the sequence of results.
+
+    The thread backend shares memory with the caller (caches stay warm
+    across workers; CPython's GIL serializes pure-Python sections but
+    overlaps are real wherever one stage waits on another).  The process
+    backend requires picklable work units and pays per-task transport, so
+    it suits coarse jobs like bulk block decryption.
+    """
+
+    def __init__(self, config: ParallelConfig) -> None:
+        self.config = config
+        self._executor: Executor | None = None
+
+    @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    @property
+    def workers(self) -> int:
+        return self.config.workers
+
+    def _ensure(self) -> Executor:
+        if self._executor is None:
+            if self.config.backend == "process":
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.config.workers
+                )
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.config.workers,
+                    thread_name_prefix="repro-worker",
+                )
+        return self._executor
+
+    def submit(self, fn: Callable[..., R], /, *args: Any, **kwargs: Any):
+        """Schedule one task; returns its ``Future``."""
+        return self._ensure().submit(fn, *args, **kwargs)
+
+    def map_ordered(
+        self, fn: Callable[[T], R], items: Sequence[T]
+    ) -> list[R]:
+        """Apply ``fn`` across ``items``, results in input order.
+
+        Short inputs (fewer than two items, or a one-worker pool where
+        fan-out buys nothing but scheduling overhead for *independent*
+        tasks) run inline on the calling thread.
+        """
+        if len(items) < 2 or self.config.workers < 2:
+            return [fn(item) for item in items]
+        executor = self._ensure()
+        return list(executor.map(fn, items))
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent; pool restarts on next use)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+def filter_shards(
+    pool: "WorkerPool | None",
+    items: Sequence[T],
+    predicate: Callable[[T], bool],
+    min_shard: int,
+    shard_count: int | None = None,
+) -> list[T]:
+    """Order-preserving (possibly parallel) filter over sharded input.
+
+    The DSI candidate lists arrive sorted by interval low bound, so
+    contiguous shards are *interval groups* — each worker evaluates one
+    group of the index independently and the concatenation restores the
+    exact serial order.  Lists below ``min_shard`` (or with no usable
+    pool) filter inline; the cut-off keeps tiny queries from paying
+    scheduling overhead.
+    """
+    if (
+        pool is None
+        or pool.workers < 2
+        or pool.backend != "thread"  # closures don't pickle
+        or len(items) < max(min_shard, 2)
+    ):
+        return [item for item in items if predicate(item)]
+    from repro.perf import counters
+
+    counters.add("sharded_filter_runs")
+    shards = shard_spans(len(items), shard_count or pool.workers)
+
+    def run_shard(span: tuple[int, int]) -> list[T]:
+        start, stop = span
+        return [item for item in items[start:stop] if predicate(item)]
+
+    kept: list[T] = []
+    for shard in pool.map_ordered(run_shard, shards):
+        kept.extend(shard)
+    return kept
+
+
+def shard_spans(length: int, shard_count: int) -> list[tuple[int, int]]:
+    """Split ``range(length)`` into ≤ ``shard_count`` contiguous spans.
+
+    Spans differ in size by at most one element and cover the range
+    exactly, in order — the partition underlying every sharded filter.
+    """
+    shard_count = max(1, min(shard_count, length))
+    base, extra = divmod(length, shard_count)
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for index in range(shard_count):
+        stop = start + base + (1 if index < extra else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
+def iter_chunks(items: Sequence[T], size: int) -> Iterable[Sequence[T]]:
+    """Yield ``items`` in contiguous runs of at most ``size``."""
+    if size < 1:
+        raise ValueError("chunk size must be >= 1")
+    for start in range(0, len(items), size):
+        yield items[start : start + size]

@@ -16,16 +16,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Iterator
+
 from repro.core.dsi import IndexEntry, StructuralIndex
 from repro.core.encryptor import HostedDatabase
 from repro.core.integrity import TamperedRequestError, seal, unseal
 from repro.core.opess import ValueIndex
+from repro.core.parallel import WorkerPool, iter_chunks
 from repro.core.structural_join import MatchResult, match_pattern
 from repro.core.translate import TranslatedQuery
 from repro.netsim.message import (
     MessageDecodeError,
     decode_query,
+    encode_fragment_chunk,
     encode_response,
+    encode_stream_header,
 )
 from repro.perf import counters
 from repro.xmldb.node import Attribute, Element, EncryptedBlockNode, Node
@@ -77,6 +82,8 @@ class Server:
         hosted: HostedDatabase,
         enable_cache: bool = True,
         session_keys: "tuple[bytes, bytes] | None" = None,
+        pool: "WorkerPool | None" = None,
+        min_shard: int = 64,
     ) -> None:
         self._hosted = hosted
         self._hosted_root = hosted.hosted_root
@@ -91,7 +98,16 @@ class Server:
         #: and even returns the *same bytes object*, which lets the client
         #: verify it with one cached-hash dict lookup.
         self._wire_cache: dict[bytes, bytes] = {}
+        #: Streamed twin of the wire cache: request blob → the exact
+        #: sealed chunk sequence previously streamed for it.  Replaying
+        #: the identical bytes objects keeps the client's chunk-level
+        #: verification a cached-hash dict lookup per chunk.
+        self._stream_cache: dict[bytes, tuple[bytes, ...]] = {}
         self._session_keys = session_keys
+        #: Worker pool for sharded structural joins and fragment
+        #: serialization; ``None`` preserves the serial evaluator.
+        self._pool = pool
+        self._min_shard = min_shard
         self._cache_epoch = hosted.epoch
 
     def _check_epoch(self) -> None:
@@ -104,6 +120,7 @@ class Server:
         """Drop the fragment and sealed-response caches."""
         self._fragment_cache.clear()
         self._wire_cache.clear()
+        self._stream_cache.clear()
 
     # ------------------------------------------------------------------
     # Normal path: §6.2 steps 1-3
@@ -111,16 +128,44 @@ class Server:
     def answer(self, query: TranslatedQuery) -> ServerResponse:
         """Evaluate a translated query and assemble the fragments."""
         self._check_epoch()
-        result: MatchResult = match_pattern(query, self._structure, self._values)
+        result = self._match(query)
         roots = self._fragment_roots(result.ship_entries)
-        fragments = [self._make_fragment(node) for node in roots]
-        blocks = sum(
-            1 for node in roots if isinstance(node, EncryptedBlockNode)
-        )
+        fragments = self._make_fragments(roots)
         return ServerResponse(
             fragments=fragments,
-            blocks_shipped=blocks,
+            blocks_shipped=self._count_blocks(roots),
             candidate_counts=result.candidate_counts,
+        )
+
+    def _match(self, query: TranslatedQuery) -> MatchResult:
+        """Structural join, sharded across the pool when one is set."""
+        return match_pattern(
+            query,
+            self._structure,
+            self._values,
+            pool=self._pool,
+            min_shard=self._min_shard,
+        )
+
+    def _make_fragments(self, roots: list[Node]) -> list[Fragment]:
+        """Serialize the shipped subtrees, fanned across the pool.
+
+        ``map_ordered`` keeps the fragment order identical to the serial
+        path; the fragment cache tolerates concurrent writers (worst case
+        two workers serialize the same node to the identical fragment).
+        """
+        if (
+            self._pool is not None
+            and self._pool.backend == "thread"
+            and len(roots) >= 2
+        ):
+            return self._pool.map_ordered(self._make_fragment, roots)
+        return [self._make_fragment(node) for node in roots]
+
+    @staticmethod
+    def _count_blocks(roots: list[Node]) -> int:
+        return sum(
+            1 for node in roots if isinstance(node, EncryptedBlockNode)
         )
 
     # ------------------------------------------------------------------
@@ -168,6 +213,64 @@ class Server:
         if self._enable_cache:
             self._wire_cache[request_blob] = blob
         return blob
+
+    def answer_wire_stream(
+        self, request_blob: bytes, chunk_fragments: int = 8
+    ) -> Iterator[bytes]:
+        """Answer a sealed request as a stream of sealed chunks.
+
+        The generator runs the structural join up front (the header needs
+        the counts), then serializes and seals the fragments *lazily*,
+        ``chunk_fragments`` at a time — so a client pulling the stream
+        can verify and decrypt chunk ``i`` while this generator is still
+        serializing chunk ``i+1``.  Chunk sequencing (index + totals in
+        the header) makes truncation and reordering detectable at the
+        client; see ``docs/PROTOCOL.md``, "Streaming & parallel
+        execution".
+
+        Warm repeats replay the identical sealed chunk objects from the
+        stream cache, mirroring :meth:`answer_wire`'s monolithic cache.
+        """
+        request_key, response_key = self._require_session_keys()
+        self._check_epoch()
+        if self._enable_cache:
+            cached = self._stream_cache.get(request_blob)
+            if cached is not None:
+                yield from cached
+                return
+        query_bytes = unseal(
+            request_key, request_blob, error=TamperedRequestError
+        )
+        try:
+            translated = decode_query(query_bytes)
+        except MessageDecodeError as exc:
+            raise TamperedRequestError(str(exc)) from exc
+
+        result = self._match(translated)
+        roots = self._fragment_roots(result.ship_entries)
+        runs = list(iter_chunks(roots, chunk_fragments))
+        emitted: list[bytes] = []
+
+        def emit(payload: bytes) -> bytes:
+            blob = seal(response_key, payload)
+            emitted.append(blob)
+            counters.add("chunks_streamed")
+            return blob
+
+        yield emit(
+            encode_stream_header(
+                naive=False,
+                blocks_shipped=self._count_blocks(roots),
+                candidate_counts=result.candidate_counts,
+                fragment_count=len(roots),
+                chunk_count=1 + len(runs),
+            )
+        )
+        for index, run in enumerate(runs, start=1):
+            fragments = self._make_fragments(list(run))
+            yield emit(encode_fragment_chunk(index, fragments))
+        if self._enable_cache:
+            self._stream_cache[request_blob] = tuple(emitted)
 
     def ship_all_wire(self, request_blob: bytes) -> bytes:
         """Naive-path wire exchange: verify the request, ship everything.
@@ -226,9 +329,9 @@ class Server:
         if self._enable_cache:
             cached = self._fragment_cache.get(node.node_id)
             if cached is not None:
-                counters.fragment_cache_hits += 1
+                counters.add("fragment_cache_hits")
                 return cached
-            counters.fragment_cache_misses += 1
+            counters.add("fragment_cache_misses")
         path = []
         for ancestor in reversed(list(node.ancestors())):
             assert isinstance(ancestor, Element)

@@ -20,6 +20,14 @@ uses the precomputed immediate-parent pointers — the paper's
 The matching is sound-as-superset: grouped intervals can only widen match
 sets, never lose a real match, and the client restores exactness in
 post-processing.
+
+**Sharded evaluation.**  Every pruning step is a pure, order-preserving
+filter over an interval-sorted candidate list, so a worker pool can
+evaluate contiguous *interval groups* of the DSI table independently and
+concatenate — the match sets, their order, and the per-node candidate
+counts are identical to serial evaluation by construction (asserted by
+the parallel-engine property tests).  Pass ``pool=None`` (the default)
+for the exact serial behaviour.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from dataclasses import dataclass, field
 
 from repro.core.dsi import IndexEntry, StructuralIndex
 from repro.core.opess import ValueIndex
+from repro.core.parallel import WorkerPool, filter_shards
 from repro.core.translate import TranslatedNode, TranslatedQuery
 from repro.xpath.evaluator import compare_values
 
@@ -47,18 +56,42 @@ def match_pattern(
     query: TranslatedQuery,
     structure: StructuralIndex,
     values: ValueIndex,
+    pool: "WorkerPool | None" = None,
+    min_shard: int = 64,
 ) -> MatchResult:
-    """Run the full structural join for a translated query."""
-    matcher = _Matcher(structure, values)
+    """Run the full structural join for a translated query.
+
+    With a ``pool``, candidate lists longer than ``min_shard`` are
+    filtered as interval-group shards across the pool's workers; the
+    result is identical to the serial join (same entries, same order,
+    same candidate counts) — only the schedule changes.
+    """
+    matcher = _Matcher(structure, values, pool=pool, min_shard=min_shard)
     return matcher.run(query)
 
 
 class _Matcher:
-    def __init__(self, structure: StructuralIndex, values: ValueIndex) -> None:
+    def __init__(
+        self,
+        structure: StructuralIndex,
+        values: ValueIndex,
+        pool: "WorkerPool | None" = None,
+        min_shard: int = 64,
+    ) -> None:
         self._structure = structure
         self._values = values
+        self._pool = pool
+        self._min_shard = min_shard
         self._match_sets: dict[int, list[IndexEntry]] = {}
         self._counts: dict[str, int] = {}
+
+    def _filter(
+        self, entries: list[IndexEntry], predicate
+    ) -> list[IndexEntry]:
+        """Order-preserving (sharded when pooled) filter step."""
+        return filter_shards(
+            self._pool, entries, predicate, self._min_shard
+        )
 
     # ------------------------------------------------------------------
     # Bottom-up phase: which entries satisfy the pattern subtree
@@ -112,19 +145,30 @@ class _Matcher:
                 entries.extend(self._structure.lookup(key))
         if not node.has_value_constraint:
             return entries
-        return [entry for entry in entries if self._value_ok(node, entry)]
+        # The B-tree range probe depends only on the node, not the entry:
+        # run it once here instead of once per candidate.
+        blocks: "set[int] | None" = None
+        if node.value_ranges is not None and node.value_field_token is not None:
+            blocks = self._values.lookup_blocks(
+                node.value_field_token, node.value_ranges
+            )
+        return self._filter(
+            entries, lambda entry: self._value_ok(node, entry, blocks)
+        )
 
-    def _value_ok(self, node: TranslatedNode, entry: IndexEntry) -> bool:
+    def _value_ok(
+        self,
+        node: TranslatedNode,
+        entry: IndexEntry,
+        blocks: "set[int] | None",
+    ) -> bool:
         if entry.block_id is not None:
             if node.value_ranges is None:
                 # Only a plaintext predicate was sent, but this entry is
                 # encrypted: the server cannot verify it — keep it (sound
                 # superset; the client will re-check).
                 return True
-            assert node.value_field_token is not None
-            blocks = self._values.lookup_blocks(
-                node.value_field_token, node.value_ranges
-            )
+            assert blocks is not None
             return entry.block_id in blocks
         if node.plaintext_predicate is not None:
             if entry.plaintext_value is None:
@@ -144,18 +188,17 @@ class _Matcher:
         axis = child.axis
         if axis in ("child", "attribute"):
             match_ids = _id_set(child_matches)
-            return [
-                entry
-                for entry in candidates
-                if any(id(sub) in match_ids for sub in entry.children)
-            ]
+            return self._filter(
+                candidates,
+                lambda entry: any(
+                    id(sub) in match_ids for sub in entry.children
+                ),
+            )
         if axis in ("descendant", "attribute-descendant"):
             lows = self._descendant_lows(child, child_matches)
-            return [
-                entry
-                for entry in candidates
-                if _has_low_inside(lows, entry)
-            ]
+            return self._filter(
+                candidates, lambda entry: _has_low_inside(lows, entry)
+            )
         raise ValueError(f"unexpected pattern axis {axis!r}")
 
     def _descendant_lows(
@@ -192,17 +235,18 @@ class _Matcher:
             child_matches = self._match_sets.get(id(child), [])
             axis = child.axis
             if axis in ("child", "attribute"):
-                surviving = [
-                    entry
-                    for entry in child_matches
-                    if entry.parent is not None and id(entry.parent) in parent_ids
-                ]
+                surviving = self._filter(
+                    child_matches,
+                    lambda entry: entry.parent is not None
+                    and id(entry.parent) in parent_ids,
+                )
             else:
-                surviving = [
-                    entry
-                    for entry in child_matches
-                    if self._has_surviving_ancestor(entry, parent_ids)
-                ]
+                surviving = self._filter(
+                    child_matches,
+                    lambda entry: self._has_surviving_ancestor(
+                        entry, parent_ids
+                    ),
+                )
             survivors[id(child)] = _id_set(surviving)
             ordered[id(child)] = surviving
             self._prune_down(child, surviving, survivors, ordered)

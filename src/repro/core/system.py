@@ -14,18 +14,21 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field as dataclass_field
+from concurrent.futures import Future
+from dataclasses import dataclass, field as dataclass_field, replace
 from typing import Optional
 
 from repro.core.client import Client, QueryAnswer
 from repro.core.constraints import SecurityConstraint
 from repro.core.encryptor import HostedDatabase, host_database
-from repro.core.integrity import IntegrityError
+from repro.core.integrity import IntegrityError, TamperedResponseError
+from repro.core.parallel import ParallelConfig, WorkerPool
 from repro.core.scheme import EncryptionScheme, build_scheme
 from repro.core.server import Server, ServerResponse
 from repro.crypto.keyring import ClientKeyring
 from repro.netsim.channel import Channel
 from repro.netsim.faults import TransferDropped
+from repro.netsim.message import MessageDecodeError, assemble_stream
 from repro.perf import counters
 from repro.xmldb.node import Document
 from repro.xpath.compiler import UnsupportedQuery
@@ -161,6 +164,8 @@ class SecureXMLSystem:
         keyring: ClientKeyring,
         fast_path: bool = True,
         retry_policy: RetryPolicy | None = None,
+        parallel: ParallelConfig | None = None,
+        pool: WorkerPool | None = None,
     ) -> None:
         self.client = client
         self.server = server
@@ -174,6 +179,15 @@ class SecureXMLSystem:
         self._backoff_rng = random.Random(self.retry_policy.seed)
         self._keyring = keyring
         self._fast_path = fast_path
+        self.parallel = parallel or ParallelConfig(workers=0)
+        self._pool = pool if self.parallel.enabled else None
+        #: epoch-gated completed-exchange memo (parallel engine only):
+        #: xpath → (pristine answer, pristine trace).  Hits hand out
+        #: clones, so callers can mutate answers freely.
+        self._answer_memo: (
+            dict[str, tuple[QueryAnswer, QueryTrace]] | None
+        ) = ({} if self.parallel.enabled else None)
+        self._memo_epoch = hosted.epoch
 
     # ------------------------------------------------------------------
     # Hosting
@@ -189,6 +203,7 @@ class SecureXMLSystem:
         secure: bool = True,
         fast_path: bool = True,
         retry_policy: RetryPolicy | None = None,
+        parallel: "ParallelConfig | bool | int | None" = None,
     ) -> "SecureXMLSystem":
         """Encrypt ``document`` under the given scheme and stand up a system.
 
@@ -200,6 +215,14 @@ class SecureXMLSystem:
         T-table AES and every query cache (seed-equivalent behaviour,
         kept as the baseline for the hot-path benchmarks); the hosted
         bytes are identical either way.
+
+        ``parallel`` configures the parallel query engine (see
+        :meth:`ParallelConfig.coerce`): ``None`` reads ``REPRO_WORKERS``,
+        ``False`` forces the exact serial pipeline, ``True``/an int/a
+        :class:`ParallelConfig` enable the streaming protocol, the shared
+        worker pool, sharded server evaluation and the answer memo.
+        Answers are byte-identical either way — parallelism changes the
+        schedule, never the result.
         """
         from repro.xmldb.serializer import serialize
 
@@ -208,6 +231,8 @@ class SecureXMLSystem:
         else:
             scheme_obj = scheme
         keyring = ClientKeyring(master_key, fast_aes=fast_path)
+        config = ParallelConfig.coerce(parallel)
+        pool = WorkerPool(config) if config.enabled else None
 
         started = time.perf_counter()
         hosted = host_database(document, scheme_obj, keyring, secure=secure)
@@ -230,6 +255,8 @@ class SecureXMLSystem:
                 hosted,
                 enable_cache=fast_path,
                 session_keys=keyring.session_keys(),
+                pool=pool,
+                min_shard=config.min_shard,
             ),
             hosted=hosted,
             scheme=scheme_obj,
@@ -238,6 +265,8 @@ class SecureXMLSystem:
             keyring=keyring,
             fast_path=fast_path,
             retry_policy=retry_policy,
+            parallel=config,
+            pool=pool,
         )
 
     def flush_caches(self) -> None:
@@ -248,6 +277,13 @@ class SecureXMLSystem:
         """
         self.client.flush_caches()
         self.server.flush_caches()
+        if self._answer_memo is not None:
+            self._answer_memo.clear()
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; restarts on next use)."""
+        if self._pool is not None:
+            self._pool.close()
 
     # ------------------------------------------------------------------
     # Querying
@@ -267,6 +303,33 @@ class SecureXMLSystem:
         complete before the deadline raises :class:`QueryFailedError`.
         The outcome is always the exact answer or a typed error — never a
         silent wrong answer.
+
+        With the parallel engine enabled the exchange streams the
+        response chunk-by-chunk (decryption overlapping the server's
+        serialization) and a completed exchange feeds the epoch-gated
+        answer memo, so a repeated query under an unchanged scheme epoch
+        is served as a clone without touching the wire.
+        """
+        memo = self._memo_lookup(xpath)
+        if memo is not None:
+            answer, trace = memo
+            self.last_trace = trace
+            return answer
+        result = self._run_query(xpath, deferred=False)
+        assert isinstance(result, QueryAnswer)
+        return result
+
+    def _run_query(
+        self, xpath: str, deferred: bool
+    ) -> "QueryAnswer | tuple[ServerResponse, QueryTrace]":
+        """One full retry-managed query.
+
+        ``deferred=False`` finishes inline and returns the answer (the
+        :meth:`query` behaviour).  ``deferred=True`` (the pipelined batch
+        path) returns ``(response, trace)`` after a successful exchange
+        so the caller can overlap post-processing with the next query's
+        server work; queries that complete inline anyway (naive path,
+        untranslatable queries) still return the finished answer.
         """
         trace = QueryTrace(query=xpath)
         policy = self.retry_policy
@@ -284,18 +347,28 @@ class SecureXMLSystem:
             for attempt in range(policy.max_attempts):
                 self._pre_attempt(attempt, trace, started_wall, policy)
                 try:
-                    response = self._secure_exchange(xpath, translated, trace)
-                    return self._finish(xpath, response, trace)
+                    if self._pool is not None:
+                        response, jobs = self._secure_exchange_stream(
+                            xpath, translated, trace, prefetch=not deferred
+                        )
+                    else:
+                        response = self._secure_exchange(
+                            xpath, translated, trace
+                        )
+                        jobs = None
+                    if deferred:
+                        return response, trace
+                    return self._finish(xpath, response, trace, jobs)
                 except _RETRYABLE as exc:
                     last_error = self._record_failure(exc, trace)
             if not policy.naive_fallback:
-                counters.queries_failed += 1
+                counters.add("queries_failed")
                 raise QueryFailedError(
                     f"query failed after {trace.attempts} attempts: "
                     f"{last_error}"
                 ) from last_error
             trace.fell_back = True
-            counters.naive_fallbacks += 1
+            counters.add("naive_fallbacks")
 
         for attempt in range(policy.naive_attempts):
             self._pre_attempt(
@@ -308,12 +381,70 @@ class SecureXMLSystem:
                 return self._finish_naive(xpath, trace)
             except _RETRYABLE as exc:
                 last_error = self._record_failure(exc, trace)
-        counters.queries_failed += 1
+        counters.add("queries_failed")
         raise QueryFailedError(
             f"query failed after {trace.attempts} attempts "
             f"({trace.integrity_failures} integrity failures, "
             f"{trace.drops} drops): {last_error}"
         ) from last_error
+
+    # ------------------------------------------------------------------
+    # Answer memo (parallel engine)
+    # ------------------------------------------------------------------
+    def _memo_lookup(
+        self, xpath: str
+    ) -> "tuple[QueryAnswer, QueryTrace] | None":
+        """Serve a repeated query from the completed-exchange memo.
+
+        Returns a fresh answer clone plus a trace copying every
+        non-timing field of the original exchange (timing fields stay
+        zero — nothing ran).  ``None`` when the memo is disabled, stale
+        (epoch moved) or cold for this query.
+        """
+        if self._answer_memo is None:
+            return None
+        self._check_memo_epoch()
+        stored = self._answer_memo.get(xpath)
+        if stored is None:
+            counters.add("answer_cache_misses")
+            return None
+        counters.add("answer_cache_hits")
+        answer, trace = stored
+        hit_trace = replace(
+            trace,
+            translate_client_s=0.0,
+            server_s=0.0,
+            transfer_s=0.0,
+            decrypt_client_s=0.0,
+            postprocess_client_s=0.0,
+            backoff_s=0.0,
+            candidate_counts=dict(trace.candidate_counts),
+        )
+        return answer.clone(), hit_trace
+
+    def _memo_store(
+        self, xpath: str, answer: QueryAnswer, trace: QueryTrace
+    ) -> None:
+        """Memoize a completed exchange (skipping naive/fallback answers).
+
+        Naive answers hold the whole database — pinning (and cloning)
+        one per query string would bloat the heap while the naive path
+        is supposed to stay the honest cost baseline.
+        """
+        if self._answer_memo is None or trace.naive or trace.fell_back:
+            return
+        self._check_memo_epoch()
+        if xpath not in self._answer_memo:
+            self._answer_memo[xpath] = (
+                answer.clone(),
+                replace(trace, candidate_counts=dict(trace.candidate_counts)),
+            )
+
+    def _check_memo_epoch(self) -> None:
+        if self._memo_epoch != self.hosted.epoch:
+            assert self._answer_memo is not None
+            self._answer_memo.clear()
+            self._memo_epoch = self.hosted.epoch
 
     # ------------------------------------------------------------------
     # Retry machinery
@@ -334,7 +465,7 @@ class SecureXMLSystem:
         if attempt > 0:
             delay = policy.backoff_for(attempt - 1, self._backoff_rng)
             trace.backoff_s += delay
-            counters.query_retries += 1
+            counters.add("query_retries")
             trace.retries += 1
         elapsed = (
             time.perf_counter() - started_wall
@@ -342,7 +473,7 @@ class SecureXMLSystem:
             + trace.transfer_s
         )
         if elapsed > policy.deadline_s:
-            counters.queries_failed += 1
+            counters.add("queries_failed")
             raise QueryFailedError(
                 f"query deadline of {policy.deadline_s}s exceeded after "
                 f"{trace.attempts} attempts"
@@ -353,7 +484,7 @@ class SecureXMLSystem:
         self, exc: Exception, trace: QueryTrace
     ) -> Exception:
         if isinstance(exc, IntegrityError):
-            counters.integrity_failures += 1
+            counters.add("integrity_failures")
             trace.integrity_failures += 1
         else:
             trace.drops += 1
@@ -381,6 +512,68 @@ class SecureXMLSystem:
         trace.candidate_counts = response.candidate_counts
         return response
 
+    def _secure_exchange_stream(
+        self,
+        xpath: str,
+        translated,
+        trace: QueryTrace,
+        prefetch: bool,
+    ) -> "tuple[ServerResponse, list[tuple[object, Future]] | None]":
+        """One sealed round trip with a chunked (streamed) response.
+
+        Each chunk crosses the channel and is verified the moment it
+        arrives; with ``prefetch`` (single-query mode, thread pool) the
+        fragments of a verified chunk are handed to the pool right away,
+        so the client decrypts chunk ``i`` while the server — driven by
+        the next generator pull — is still joining and sealing chunk
+        ``i+1``.  Sequencing is validated by :func:`assemble_stream`: a
+        dropped, duplicated or reordered chunk surfaces as the usual
+        retryable integrity error, never as a silently reordered answer.
+        """
+        request = self.client.seal_request(translated, cache_key=xpath)
+        request, seconds = self.channel.transfer(
+            "client->server", "query", request
+        )
+        trace.transfer_s += seconds
+
+        pool = self._pool
+        assert pool is not None
+        fan_out = prefetch and pool.backend == "thread" and pool.workers >= 2
+        stream = self.server.answer_wire_stream(
+            request, chunk_fragments=self.parallel.chunk_fragments
+        )
+        chunks = []
+        jobs: "list[tuple[object, Future]] | None" = [] if fan_out else None
+        while True:
+            started = time.perf_counter()
+            try:
+                sealed = next(stream)
+            except StopIteration:
+                trace.server_s += time.perf_counter() - started
+                break
+            trace.server_s += time.perf_counter() - started
+            sealed, seconds = self.channel.transfer(
+                "server->client", "answer", sealed
+            )
+            trace.transfer_s += seconds
+            chunk = self.client.open_chunk(sealed)
+            chunks.append(chunk)
+            if jobs is not None and chunk.kind == "fragments":
+                counters.add("parallel_decrypt_tasks", len(chunk.fragments))
+                jobs.extend(
+                    (
+                        fragment,
+                        pool.submit(self.client.decrypt_fragment, fragment.xml),
+                    )
+                    for fragment in chunk.fragments
+                )
+        try:
+            response = assemble_stream(chunks)
+        except MessageDecodeError as exc:
+            raise TamperedResponseError(str(exc)) from exc
+        trace.candidate_counts = response.candidate_counts
+        return response, jobs
+
     def execute_many(self, xpaths: list[str]) -> list[QueryAnswer]:
         """Answer a batch of queries through the secure pipeline.
 
@@ -392,15 +585,85 @@ class SecureXMLSystem:
         kept in :attr:`last_batch_traces`, in input order (``last_trace``
         ends up holding the final query's trace, as with single
         :meth:`query` calls).
+
+        With the parallel engine enabled the batch is *pipelined*: every
+        exchange still runs sequentially on the calling thread (so the
+        channel sees the same deterministic transfer order regardless of
+        worker count), but post-processing is deferred to the pool and
+        overlaps the next query's server work, duplicates within the
+        batch are served from the answer memo, and results are gathered
+        back into input order.
         """
-        answers: list[QueryAnswer] = []
-        traces: list[QueryTrace] = []
-        for xpath in xpaths:
-            answers.append(self.query(xpath))
-            assert self.last_trace is not None
-            traces.append(self.last_trace)
-        self.last_batch_traces = traces
-        return answers
+        if self._pool is None:
+            answers: list[QueryAnswer] = []
+            traces: list[QueryTrace] = []
+            for xpath in xpaths:
+                answers.append(self.query(xpath))
+                assert self.last_trace is not None
+                traces.append(self.last_trace)
+            self.last_batch_traces = traces
+            return answers
+        return self._execute_many_pipelined(xpaths)
+
+    def _execute_many_pipelined(
+        self, xpaths: list[str]
+    ) -> list[QueryAnswer]:
+        pool = self._pool
+        assert pool is not None
+        total = len(xpaths)
+        answers: "list[QueryAnswer | None]" = [None] * total
+        traces: "list[QueryTrace | None]" = [None] * total
+        pending: dict[int, tuple[Future, QueryTrace]] = {}
+        inflight: dict[str, int] = {}
+
+        def drain(index: int) -> None:
+            future, trace = pending.pop(index)
+            inflight.pop(xpaths[index], None)
+            try:
+                answers[index] = future.result()
+                traces[index] = trace
+            except _RETRYABLE:
+                # The deferred finish failed *after* its retry loop
+                # closed (e.g. a block failed verification); re-run the
+                # whole query inline with a fresh attempt budget — the
+                # outcome stays exact-answer-or-typed-error.
+                answers[index] = self.query(xpaths[index])
+                traces[index] = self.last_trace
+
+        for index, xpath in enumerate(xpaths):
+            prior = inflight.get(xpath)
+            if prior is not None:
+                # A duplicate of a still-pending query: settle the first
+                # occurrence now so the memo can serve this one.
+                drain(prior)
+            memo = self._memo_lookup(xpath)
+            if memo is not None:
+                answers[index], traces[index] = memo
+                continue
+            defer = pool.backend == "thread"
+            result = self._run_query(xpath, deferred=defer)
+            if isinstance(result, QueryAnswer):
+                # Finished inline: naive/untranslatable queries, or a
+                # process-backed pool (bound methods don't pickle — the
+                # process backend parallelizes inside ``_finish``, via
+                # the bulk block-decrypt path, not across queries).
+                answers[index] = result
+                traces[index] = self.last_trace
+                continue
+            response, trace = result
+            future = pool.submit(
+                self._finish, xpath, response, trace, None, False
+            )
+            pending[index] = (future, trace)
+            inflight[xpath] = index
+        for index in sorted(pending):
+            drain(index)
+
+        done_traces = [trace for trace in traces if trace is not None]
+        assert len(done_traces) == total
+        self.last_batch_traces = done_traces
+        self.last_trace = done_traces[-1] if done_traces else None
+        return [answer for answer in answers if answer is not None]
 
     def aggregate(
         self, xpath: str, func: str, mode: str = "exact"
@@ -520,14 +783,35 @@ class SecureXMLSystem:
         return self._finish(xpath, response, trace)
 
     def _finish(
-        self, xpath: str, response: ServerResponse, trace: QueryTrace
+        self,
+        xpath: str,
+        response: ServerResponse,
+        trace: QueryTrace,
+        jobs: "list[tuple[object, Future]] | None" = None,
+        use_pool: bool = True,
     ) -> QueryAnswer:
+        """Decrypt, assemble and re-evaluate — the client's §6.4 half.
+
+        ``jobs`` carries fragment decryptions already in flight (the
+        streaming prefetch); they are gathered in stream order, so the
+        decrypted list is identical to the serial one.  ``use_pool=False``
+        keeps all work on the calling thread — the pipelined batch path
+        runs ``_finish`` itself on a pool worker, and fanning out from
+        inside a worker could deadlock a saturated pool.
+        """
         trace.blocks_returned = response.blocks_shipped
         trace.fragments_returned = len(response.fragments)
         trace.transfer_bytes = response.size_bytes()
 
         started = time.perf_counter()
-        decrypted = self.client.decrypt_fragments(response)
+        if jobs is not None and len(jobs) == len(response.fragments):
+            decrypted = [
+                (fragment, future.result()) for fragment, future in jobs
+            ]
+        else:
+            decrypted = self.client.decrypt_fragments(
+                response, pool=self._pool if use_pool else None
+            )
         trace.decrypt_client_s = time.perf_counter() - started
 
         started = time.perf_counter()
@@ -537,6 +821,7 @@ class SecureXMLSystem:
 
         trace.answer_count = len(answer)
         self.last_trace = trace
+        self._memo_store(xpath, answer, trace)
         return answer
 
 

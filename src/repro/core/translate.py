@@ -106,10 +106,10 @@ class PlanCache:
     def get(self, xpath: str, epoch: int) -> Optional[TranslatedQuery]:
         plan = self._plans.get((xpath, epoch))
         if plan is None:
-            counters.plan_cache_misses += 1
+            counters.add("plan_cache_misses")
             return None
         self._plans.move_to_end((xpath, epoch))
-        counters.plan_cache_hits += 1
+        counters.add("plan_cache_hits")
         return plan
 
     def put(self, xpath: str, epoch: int, plan: TranslatedQuery) -> None:

@@ -175,7 +175,7 @@ def _expand_key_cached(
       keys in reverse order with InvMixColumns applied to the nine inner
       ones, for the D-table decryptor.
     """
-    counters.key_expansions += 1
+    counters.add("key_expansions")
     words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
     for i in range(4, 44):
         word = list(words[i - 1])

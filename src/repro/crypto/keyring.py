@@ -61,6 +61,16 @@ class ClientKeyring:
             )
         return self._block_cipher
 
+    def block_key_bytes(self) -> bytes:
+        """Raw AES key for block payloads (client-side use only).
+
+        Exists for the process-backed worker pool: a child process cannot
+        pickle a live cipher object, so the client hands each bulk
+        decryption task the key material instead and the worker rebuilds
+        the (process-wide cached) cipher from it.  Never sent anywhere.
+        """
+        return derive_key(self._master, "block")[:16]
+
     def block_iv(self, block_id: int) -> bytes:
         """Deterministic per-block CBC IV.
 
@@ -73,6 +83,17 @@ class ClientKeyring:
             cached = derive_key(self._master, "block-iv", str(block_id))[:16]
             self._block_ivs[block_id] = cached
         return cached
+
+    def flush_memoized(self) -> None:
+        """Drop the memoized per-block IVs (and lazily rebuilt ciphers).
+
+        The IVs are pure functions of the master key, so keeping them is
+        always *correct* — but ``flush_caches()`` promises a genuinely
+        cold warm-path measurement, and a warm IV memo was quietly
+        exempting the HMAC derivations from that promise.
+        """
+        self._block_ivs.clear()
+        self._block_cipher = None
 
     @property
     def tag_cipher(self) -> DeterministicTagCipher:

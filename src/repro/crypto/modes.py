@@ -55,7 +55,7 @@ def cbc_encrypt(cipher: AES128, iv: bytes, plaintext: bytes) -> bytes:
     if len(iv) != BLOCK:
         raise ValueError("IV must be one cipher block")
     padded = pkcs7_pad(plaintext)
-    counters.blocks_encrypted += len(padded) // BLOCK
+    counters.add("blocks_encrypted", len(padded) // BLOCK)
     encrypt_block = cipher.encrypt_block
     previous = int.from_bytes(iv, "big")
     out = bytearray()
@@ -73,7 +73,7 @@ def cbc_decrypt(cipher: AES128, iv: bytes, ciphertext: bytes) -> bytes:
         raise ValueError("IV must be one cipher block")
     if len(ciphertext) % BLOCK != 0:
         raise ValueError("ciphertext length must be a multiple of the block size")
-    counters.blocks_decrypted += len(ciphertext) // BLOCK
+    counters.add("blocks_decrypted", len(ciphertext) // BLOCK)
     decrypt_block = cipher.decrypt_block
     decrypted = b"".join(
         decrypt_block(ciphertext[offset : offset + BLOCK])

@@ -173,19 +173,19 @@ class FaultyChannel(Channel):
         seconds = self.send(direction, label, len(payload))
         if decision.duplicate:
             seconds += self.send(direction, f"{label}+dup", len(payload))
-            counters.faults_duplicated += 1
+            counters.add("faults_duplicated")
         if decision.delay_seconds:
             seconds += decision.delay_seconds
-            counters.faults_delayed += 1
+            counters.add("faults_delayed")
         if decision.drop:
-            counters.faults_dropped += 1
+            counters.add("faults_dropped")
             raise TransferDropped(f"{direction} {label!r} dropped")
         if decision.truncate_to is not None:
             payload = payload[: decision.truncate_to]
-            counters.faults_truncated += 1
+            counters.add("faults_truncated")
         if decision.corrupt_offset is not None and decision.corrupt_offset < len(payload):
             mutated = bytearray(payload)
             mutated[decision.corrupt_offset] ^= decision.corrupt_xor
             payload = bytes(mutated)
-            counters.faults_corrupted += 1
+            counters.add("faults_corrupted")
         return payload, seconds

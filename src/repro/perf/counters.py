@@ -2,13 +2,22 @@
 
 One process-wide :class:`PerfCounters` instance (:data:`counters`) is
 incremented from the hot paths themselves — the AES key schedule, the CBC
-decryptor, and every cache layer.  Counters are plain integer attributes,
-so the overhead per event is one attribute increment; nothing here
-imports the rest of the package (the crypto layer imports *us*).
+decryptor, and every cache layer.  Nothing here imports the rest of the
+package (the crypto layer imports *us*).
+
+Since the parallel query engine landed, hot paths run on worker threads,
+so every mutation goes through :meth:`PerfCounters.add`, which serializes
+the read-modify-write under one process-wide lock.  A bare ``counters.x
++= 1`` is *not* safe under concurrency (the interpreter can preempt
+between the read and the write, losing increments) and is kept only for
+single-threaded test scaffolding; library code must use ``add``.  Reads
+(:meth:`snapshot`, :meth:`delta_since`, :meth:`hit_rate`) take the same
+lock, so a snapshot is a consistent cut even while workers increment.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, fields
 
 
@@ -25,7 +34,9 @@ class PerfCounters:
       (parse + block decryption + decoy stripping, one level above the
       block cache);
     * ``interval`` — the structural index's per-tag sorted low-bound
-      arrays used by descendant joins.
+      arrays used by descendant joins;
+    * ``answer`` — the parallel engine's completed-exchange memo
+      (epoch-gated final answers, cloned per hit).
     """
 
     key_expansions: int = 0
@@ -52,10 +63,22 @@ class PerfCounters:
     integrity_failures: int = 0
     naive_fallbacks: int = 0
     queries_failed: int = 0
+    # --- parallel engine (streaming chunks / worker pool / answer memo) ---
+    answer_cache_hits: int = 0
+    answer_cache_misses: int = 0
+    chunks_streamed: int = 0
+    parallel_decrypt_tasks: int = 0
+    sharded_filter_runs: int = 0
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Thread-safe increment (the only mutation hot paths may use)."""
+        with _LOCK:
+            setattr(self, name, getattr(self, name) + amount)
 
     def snapshot(self) -> dict[str, int]:
         """Current values as a plain dict (safe to hold across resets)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        with _LOCK:
+            return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def delta_since(self, before: dict[str, int]) -> dict[str, int]:
         """Per-counter difference against an earlier :meth:`snapshot`."""
@@ -66,16 +89,23 @@ class PerfCounters:
 
     def reset(self) -> None:
         """Zero every counter (benchmark isolation)."""
-        for f in fields(self):
-            setattr(self, f.name, 0)
+        with _LOCK:
+            for f in fields(self):
+                setattr(self, f.name, 0)
 
     def hit_rate(self, cache: str) -> float:
         """Hit rate in [0, 1] for one cache layer (0.0 when untouched)."""
-        hits = getattr(self, f"{cache}_cache_hits")
-        misses = getattr(self, f"{cache}_cache_misses")
+        with _LOCK:
+            hits = getattr(self, f"{cache}_cache_hits")
+            misses = getattr(self, f"{cache}_cache_misses")
         total = hits + misses
         return hits / total if total else 0.0
 
+
+#: One process-wide reentrant-free lock guarding every counter mutation.
+#: Module-level (not a dataclass field) so ``fields()`` iteration, reset
+#: and snapshots keep seeing counter attributes only.
+_LOCK = threading.Lock()
 
 #: The process-wide registry every hot path increments.
 counters = PerfCounters()

@@ -1,0 +1,527 @@
+"""The parallel, pipelined query engine.
+
+The contract under test has three legs:
+
+* **Identity** — with any worker count, every answer is byte-identical
+  to the serial engine's (and traces match modulo timing fields): the
+  pool re-orders results deterministically, sharded filtering preserves
+  the interval order, and the streamed chunks reassemble to exactly the
+  monolithic response.
+* **Safety** — the global perf counters lose no increments under
+  concurrent batches, a tampered/reordered/truncated chunk stream
+  surfaces as the usual typed integrity error, and under a seeded fault
+  sweep the outcome stays exact-answer-or-typed-error.
+* **Coldness** — ``flush_caches()`` now really flushes: the keyring's
+  memoized block IVs, the verified-chunk cache and the answer memo all
+  drop, so a "cold" measurement no longer quietly reuses warm state.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.client import canonical_node
+from repro.core.integrity import TamperedResponseError
+from repro.core.parallel import (
+    DEFAULT_WORKERS,
+    ParallelConfig,
+    WorkerPool,
+    filter_shards,
+    shard_spans,
+)
+from repro.core.system import QueryFailedError, SecureXMLSystem
+from repro.netsim import FaultPolicy, FaultyChannel
+from repro.netsim.message import (
+    MessageDecodeError,
+    assemble_stream,
+    decode_chunk,
+    encode_fragment_chunk,
+    encode_response_chunks,
+)
+from repro.perf import counters
+from repro.workloads.queries import QueryWorkload
+from repro.xmldb.serializer import serialize
+from repro.xpath.evaluator import evaluate
+
+#: QueryTrace fields compared between serial and parallel runs — every
+#: field except the timing ones (``*_s``), which measure the schedule,
+#: not the result.
+TRACE_FIELDS = (
+    "query",
+    "naive",
+    "transfer_bytes",
+    "blocks_returned",
+    "fragments_returned",
+    "answer_count",
+    "candidate_counts",
+    "attempts",
+    "retries",
+    "integrity_failures",
+    "drops",
+    "fell_back",
+)
+
+HEALTHCARE_QUERIES = [
+    "//patient[.//insurance//@coverage>=10000]//SSN",
+    "//treat[disease='leukemia']/doctor",
+    "//patient[age>36]/pname",
+    "//SSN",
+]
+
+
+def workload_queries(document, seed=3, per_class=2):
+    by_class = QueryWorkload(
+        document, seed=seed, per_class=per_class
+    ).by_class()
+    return [q for queries in by_class.values() for q in queries]
+
+
+def trace_key(trace):
+    return tuple(getattr(trace, name) for name in TRACE_FIELDS)
+
+
+def run_batch(system, queries):
+    answers = system.execute_many(queries)
+    return (
+        [answer.canonical() for answer in answers],
+        [serialize(answer.pruned_document.root) for answer in answers],
+        [trace_key(trace) for trace in system.last_batch_traces],
+    )
+
+
+# ----------------------------------------------------------------------
+# Configuration knobs
+# ----------------------------------------------------------------------
+class TestParallelConfig:
+    def test_coerce_shapes(self):
+        assert ParallelConfig.coerce(False).workers == 0
+        assert ParallelConfig.coerce(True).workers == DEFAULT_WORKERS
+        assert ParallelConfig.coerce(3).workers == 3
+        config = ParallelConfig(workers=2, backend="process")
+        assert ParallelConfig.coerce(config) is config
+        assert not ParallelConfig.coerce(0).enabled
+        assert ParallelConfig.coerce(1).enabled
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(TypeError):
+            ParallelConfig.coerce("four")
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert not ParallelConfig.coerce(None).enabled
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert ParallelConfig.coerce(None).workers == 4
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert not ParallelConfig.coerce(None).enabled
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError):
+            ParallelConfig.from_env()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(workers=-1)
+        with pytest.raises(ValueError):
+            ParallelConfig(backend="fiber")
+        with pytest.raises(ValueError):
+            ParallelConfig(chunk_fragments=0)
+
+
+class TestShardPrimitives:
+    @pytest.mark.parametrize("length", [0, 1, 5, 64, 100, 101])
+    @pytest.mark.parametrize("shards", [1, 3, 8])
+    def test_spans_partition_exactly(self, length, shards):
+        spans = shard_spans(length, shards)
+        covered = [i for start, stop in spans for i in range(start, stop)]
+        assert covered == list(range(length))
+        sizes = [stop - start for start, stop in spans]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_filter_shards_matches_serial(self):
+        items = list(range(500))
+        predicate = lambda n: n % 7 in (1, 3)  # noqa: E731
+        with WorkerPool(ParallelConfig(workers=4)) as pool:
+            kept = filter_shards(pool, items, predicate, min_shard=16)
+        assert kept == [n for n in items if predicate(n)]
+
+    def test_map_ordered_preserves_input_order(self):
+        with WorkerPool(ParallelConfig(workers=4)) as pool:
+            assert pool.map_ordered(lambda n: n * n, list(range(40))) == [
+                n * n for n in range(40)
+            ]
+
+
+# ----------------------------------------------------------------------
+# Streamed chunk codec
+# ----------------------------------------------------------------------
+class TestChunkCodec:
+    @pytest.fixture()
+    def response(self, healthcare_doc, healthcare_scs):
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, parallel=False
+        )
+        translated = system.client.translate("//SSN")
+        request = system.client.seal_request(translated, cache_key="//SSN")
+        sealed = system.server.answer_wire(request)
+        return system.client.open_response(sealed)
+
+    def test_roundtrip_reassembles_identically(self, response):
+        for chunk_fragments in (1, 2, 100):
+            blobs = encode_response_chunks(response, chunk_fragments)
+            rebuilt = assemble_stream([decode_chunk(b) for b in blobs])
+            assert rebuilt.naive == response.naive
+            assert rebuilt.blocks_shipped == response.blocks_shipped
+            assert rebuilt.candidate_counts == response.candidate_counts
+            assert [f.xml for f in rebuilt.fragments] == [
+                f.xml for f in response.fragments
+            ]
+            assert [f.ancestor_path for f in rebuilt.fragments] == [
+                f.ancestor_path for f in response.fragments
+            ]
+
+    def test_header_must_lead(self, response):
+        chunks = [decode_chunk(b) for b in encode_response_chunks(response, 1)]
+        with pytest.raises(MessageDecodeError):
+            assemble_stream(chunks[1:] + chunks[:1])
+
+    def test_reordered_fragments_detected(self, response):
+        chunks = [decode_chunk(b) for b in encode_response_chunks(response, 1)]
+        if len(chunks) < 3:
+            pytest.skip("needs at least two fragment chunks")
+        swapped = [chunks[0], chunks[2], chunks[1]] + chunks[3:]
+        with pytest.raises(MessageDecodeError):
+            assemble_stream(swapped)
+
+    def test_truncation_and_duplication_detected(self, response):
+        chunks = [decode_chunk(b) for b in encode_response_chunks(response, 1)]
+        with pytest.raises(MessageDecodeError):
+            assemble_stream(chunks[:-1])
+        with pytest.raises(MessageDecodeError):
+            assemble_stream(chunks + [chunks[-1]])
+
+    def test_fragment_chunk_index_floor(self):
+        with pytest.raises(ValueError):
+            encode_fragment_chunk(0, [])
+
+    def test_malformed_chunk_bytes(self):
+        with pytest.raises(MessageDecodeError):
+            decode_chunk(b"\xff\x00 garbage")
+        with pytest.raises(MessageDecodeError):
+            decode_chunk(b'{"k":"zz","i":0}')
+
+
+# ----------------------------------------------------------------------
+# Identity: parallel == serial, byte for byte (satellite c)
+# ----------------------------------------------------------------------
+class TestByteIdenticalAnswers:
+    def _compare(self, document, constraints, queries):
+        serial = SecureXMLSystem.host(document, constraints, parallel=False)
+        parallel = SecureXMLSystem.host(document, constraints, parallel=4)
+        try:
+            # Two passes: cold, then warm (the memo/cache-heavy path).
+            for _ in range(2):
+                s_answers, s_docs, s_traces = run_batch(serial, queries)
+                p_answers, p_docs, p_traces = run_batch(parallel, queries)
+                assert p_answers == s_answers
+                assert p_docs == s_docs  # byte-identical pruned documents
+                assert p_traces == s_traces
+        finally:
+            parallel.close()
+
+    def test_healthcare(self, healthcare_doc, healthcare_scs):
+        self._compare(healthcare_doc, healthcare_scs, HEALTHCARE_QUERIES)
+
+    def test_xmark(self, xmark_doc, xmark_scs):
+        self._compare(xmark_doc, xmark_scs, workload_queries(xmark_doc))
+
+    def test_nasa(self, nasa_doc, nasa_scs):
+        self._compare(nasa_doc, nasa_scs, workload_queries(nasa_doc))
+
+    def test_single_query_path(self, healthcare_doc, healthcare_scs):
+        serial = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, parallel=False
+        )
+        parallel = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, parallel=4
+        )
+        try:
+            for query in HEALTHCARE_QUERIES * 2:
+                assert (
+                    parallel.query(query).canonical()
+                    == serial.query(query).canonical()
+                )
+                assert trace_key(parallel.last_trace) == trace_key(
+                    serial.last_trace
+                )
+        finally:
+            parallel.close()
+
+    def test_process_backend(self, healthcare_doc, healthcare_scs):
+        serial = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, parallel=False
+        )
+        parallel = SecureXMLSystem.host(
+            healthcare_doc,
+            healthcare_scs,
+            parallel=ParallelConfig(workers=2, backend="process"),
+        )
+        try:
+            s = [a.canonical() for a in serial.execute_many(HEALTHCARE_QUERIES)]
+            p = [
+                a.canonical()
+                for a in parallel.execute_many(HEALTHCARE_QUERIES)
+            ]
+            assert p == s
+        finally:
+            parallel.close()
+
+
+class TestFaultSweep:
+    """Seeded chaos: the parallel engine keeps the hardening contract."""
+
+    RATES = {"drop": 0.15, "corrupt": 0.15, "truncate": 0.1}
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exact_answer_or_typed_error(
+        self, seed, healthcare_doc, healthcare_scs
+    ):
+        truth = {
+            query: sorted(
+                canonical_node(n) for n in evaluate(healthcare_doc, query)
+            )
+            for query in HEALTHCARE_QUERIES
+        }
+        system = SecureXMLSystem.host(
+            healthcare_doc,
+            healthcare_scs,
+            channel=FaultyChannel(policy=FaultPolicy.symmetric(
+                seed=seed, **self.RATES
+            )),
+            parallel=4,
+        )
+        try:
+            answered = 0
+            for query in HEALTHCARE_QUERIES:
+                try:
+                    answer = system.query(query)
+                except QueryFailedError:
+                    continue
+                answered += 1
+                assert answer.canonical() == truth[query]
+            assert answered > 0
+        finally:
+            system.close()
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_batch_under_faults(self, seed, healthcare_doc, healthcare_scs):
+        system = SecureXMLSystem.host(
+            healthcare_doc,
+            healthcare_scs,
+            channel=FaultyChannel(policy=FaultPolicy.symmetric(
+                seed=seed, drop=0.2
+            )),
+            parallel=4,
+        )
+        try:
+            try:
+                answers = system.execute_many(HEALTHCARE_QUERIES * 2)
+            except QueryFailedError:
+                return  # typed failure is an allowed outcome
+            for query, answer in zip(HEALTHCARE_QUERIES * 2, answers):
+                assert answer.canonical() == sorted(
+                    canonical_node(n)
+                    for n in evaluate(healthcare_doc, query)
+                )
+        finally:
+            system.close()
+
+    def test_faultless_faulty_channel_matches_serial(
+        self, healthcare_doc, healthcare_scs
+    ):
+        serial = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, parallel=False
+        )
+        parallel = SecureXMLSystem.host(
+            healthcare_doc,
+            healthcare_scs,
+            channel=FaultyChannel(policy=FaultPolicy.symmetric(seed=9)),
+            parallel=4,
+        )
+        try:
+            s_answers, s_docs, s_traces = run_batch(
+                serial, HEALTHCARE_QUERIES
+            )
+            p_answers, p_docs, p_traces = run_batch(
+                parallel, HEALTHCARE_QUERIES
+            )
+            assert (p_answers, p_docs, p_traces) == (
+                s_answers,
+                s_docs,
+                s_traces,
+            )
+        finally:
+            parallel.close()
+
+
+# ----------------------------------------------------------------------
+# Counter thread-safety (satellite a)
+# ----------------------------------------------------------------------
+class TestCounterThreadSafety:
+    def test_add_is_lossless_under_contention(self):
+        before = counters.snapshot()["chunks_streamed"]
+        threads = [
+            threading.Thread(
+                target=lambda: [
+                    counters.add("chunks_streamed") for _ in range(5_000)
+                ]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counters.snapshot()["chunks_streamed"] - before == 40_000
+        counters.add("chunks_streamed", -40_000)  # leave no residue
+
+    def test_concurrent_execute_many_loses_no_counts(
+        self, healthcare_scs
+    ):
+        """K identical serial systems on K threads count exactly K× one.
+
+        Each system does deterministic single-threaded work; only the
+        *global counter object* is contended.  Before ``add()`` the
+        read-modify-write races lost increments under exactly this load.
+        """
+        from repro.workloads.healthcare import build_healthcare_database
+
+        def make_system():
+            return SecureXMLSystem.host(
+                build_healthcare_database(),
+                healthcare_scs,
+                parallel=False,
+            )
+
+        probe = make_system()
+        baseline = counters.snapshot()
+        probe.execute_many(HEALTHCARE_QUERIES)
+        single = counters.delta_since(baseline)
+
+        lanes = [make_system() for _ in range(4)]
+        baseline = counters.snapshot()
+        threads = [
+            threading.Thread(
+                target=system.execute_many, args=(HEALTHCARE_QUERIES,)
+            )
+            for system in lanes
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        combined = counters.delta_since(baseline)
+        for name, value in single.items():
+            assert combined.get(name, 0) == 4 * value, name
+
+
+# ----------------------------------------------------------------------
+# Cache coldness (satellite b) and the answer memo
+# ----------------------------------------------------------------------
+class TestFlushCaches:
+    def test_flush_clears_keyring_iv_memo(
+        self, healthcare_doc, healthcare_scs
+    ):
+        system = SecureXMLSystem.host(healthcare_doc, healthcare_scs)
+        system.query(HEALTHCARE_QUERIES[0])
+        keyring = system._keyring
+        assert keyring._block_ivs, "query should have derived block IVs"
+        system.flush_caches()
+        assert keyring._block_ivs == {}
+        # And the flush is behavioural, not just structural: the next
+        # query still answers correctly from a fully cold start.
+        assert system.query(HEALTHCARE_QUERIES[0]).canonical() == sorted(
+            canonical_node(n)
+            for n in evaluate(healthcare_doc, HEALTHCARE_QUERIES[0])
+        )
+
+    def test_flush_clears_chunk_cache_and_answer_memo(
+        self, healthcare_doc, healthcare_scs
+    ):
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, parallel=2
+        )
+        try:
+            system.query(HEALTHCARE_QUERIES[0])
+            assert system.client._chunk_cache
+            assert system._answer_memo
+            system.flush_caches()
+            assert system.client._chunk_cache == {}
+            assert system._answer_memo == {}
+        finally:
+            system.close()
+
+
+class TestAnswerMemo:
+    def test_repeat_hits_and_clone_isolation(
+        self, healthcare_doc, healthcare_scs
+    ):
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, parallel=2
+        )
+        try:
+            query = HEALTHCARE_QUERIES[0]
+            first = system.query(query)
+            before = counters.snapshot()
+            second = system.query(query)
+            assert counters.delta_since(before)["answer_cache_hits"] == 1
+            assert second.canonical() == first.canonical()
+            # Mutating one served answer must not corrupt the next.
+            for node in second.pruned_document.root.children[:]:
+                node.detach()
+            third = system.query(query)
+            assert third.canonical() == first.canonical()
+        finally:
+            system.close()
+
+    def test_epoch_bump_invalidates(self, healthcare_doc, healthcare_scs):
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, parallel=2
+        )
+        try:
+            query = "//patient[pname='Matt']/age"
+            assert system.query(query).values() == ["40"]
+            assert system.query(query).values() == ["40"]  # memo hit
+            system.update_value("//patient[pname='Matt']/age", "41")
+            assert system.query(query).values() == ["41"]
+        finally:
+            system.close()
+
+
+class TestStreamIntegrity:
+    def test_tampered_chunk_is_rejected(
+        self, healthcare_doc, healthcare_scs
+    ):
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, parallel=2
+        )
+        try:
+            translated = system.client.translate("//SSN")
+            request = system.client.seal_request(translated, cache_key="//SSN")
+            chunks = list(system.server.answer_wire_stream(request))
+            assert len(chunks) >= 2
+            system.client.open_chunk(chunks[0])  # intact chunk verifies
+            evil = chunks[1][:-1] + bytes([chunks[1][-1] ^ 0x01])
+            with pytest.raises(TamperedResponseError):
+                system.client.open_chunk(evil)
+        finally:
+            system.close()
+
+    def test_stream_counts_chunks(self, healthcare_doc, healthcare_scs):
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, parallel=2
+        )
+        try:
+            before = counters.snapshot()
+            system.query("//SSN")
+            assert counters.delta_since(before)["chunks_streamed"] >= 2
+        finally:
+            system.close()
