@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.system import QueryTrace, SecureXMLSystem
-from repro.perf import counters
 
 
 @dataclass
@@ -76,8 +75,14 @@ def run_query_class(
     ``cold=True`` flushes the warm-path caches before every query so the
     result reflects independent executions (the paper's measurement
     protocol), not cross-query amortization.
+
+    Counter deltas come from the system's observability context (its
+    :class:`~repro.obs.MetricsRegistry`) rather than from poking the
+    global counter module — the harness sees exactly what the exporters
+    export.
     """
-    before = counters.snapshot()
+    metrics = system.observability().metrics
+    before = metrics.counter_values()
     traces: list[QueryTrace] = []
     for query in queries:
         if cold:
@@ -98,7 +103,7 @@ def run_query_class(
         transfer_bytes=averaged["bytes"],
         blocks=averaged["blocks"],
         query_count=len(queries),
-        perf=counters.delta_since(before),
+        perf=metrics.counters_delta(before),
     )
 
 

@@ -21,6 +21,15 @@ Commands:
 ``attack``
     Mount the frequency-based attack against the strawman, decoy and
     OPESS designs on a workload and print the outcome.
+
+``trace``
+    Run one query and print its nested span tree plus a reconciliation
+    table proving the span totals match the ``QueryTrace`` stage fields.
+
+``stats``
+    Run a query workload and export the observability snapshot —
+    counters, latency histograms and the slow-query log — as a table,
+    JSON, or Prometheus text exposition.
 """
 
 from __future__ import annotations
@@ -200,6 +209,111 @@ def cmd_schemes(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Reconciliation tolerance for ``repro trace`` (issue acceptance: ±1ms).
+_TRACE_TOLERANCE_S = 0.001
+
+#: (span name, QueryTrace attribute) pairs the trace command reconciles.
+_TRACE_STAGES = (
+    ("translate", "translate_client_s"),
+    ("server", "server_s"),
+    ("transfer", "transfer_s"),
+    ("decrypt", "decrypt_client_s"),
+    ("postprocess", "postprocess_client_s"),
+    ("backoff", "backoff_s"),
+)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    document, constraints = build_workload(args.workload, args.size, args.seed)
+    system = SecureXMLSystem.host(
+        document, constraints, scheme=args.scheme,
+        master_key=_master_key(args), parallel=_parallel(args),
+    )
+    answer = system.query(args.xpath)
+    trace = system.last_trace
+    assert trace is not None
+    root = trace.span
+    if root is None:
+        print("error: no span recorded (observability disabled?)",
+              file=sys.stderr)
+        return 2
+    print(f"answers: {len(answer)}")
+    print()
+    print(root.render())
+    print()
+    rows = []
+    ok = True
+    for span_name, attr in _TRACE_STAGES:
+        span_total = root.total(span_name)
+        trace_value = getattr(trace, attr)
+        delta = abs(span_total - trace_value)
+        if delta > _TRACE_TOLERANCE_S:
+            ok = False
+        rows.append([
+            span_name,
+            f"{span_total * 1000:.3f}",
+            f"{trace_value * 1000:.3f}",
+            f"{delta * 1000:.3f}",
+        ])
+    from repro.bench.harness import format_table
+
+    print(format_table(
+        ["stage", "span_ms", "trace_ms", "delta_ms"],
+        rows,
+        "span/trace reconciliation (tolerance 1.000ms)",
+    ))
+    if not ok:
+        print("error: span totals disagree with the trace", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.workloads.queries import QueryWorkload
+
+    document, constraints = build_workload(args.workload, args.size, args.seed)
+    system = SecureXMLSystem.host(
+        document, constraints, scheme=args.scheme,
+        master_key=_master_key(args), parallel=_parallel(args),
+    )
+    workload = QueryWorkload(
+        document, seed=args.seed, per_class=args.per_class
+    ).by_class()
+    queries = [query for batch in workload.values() for query in batch]
+    system.execute_many(queries)
+    obs = system.observability()
+    if args.format == "json":
+        print(obs.export_json())
+        return 0
+    if args.format == "prometheus":
+        sys.stdout.write(obs.export_prometheus())
+        return 0
+    from repro.bench.harness import counter_report, format_table
+
+    metrics = obs.metrics.snapshot()
+    print(f"workload {args.workload}: {len(queries)} queries")
+    print()
+    print(counter_report(metrics["counters"]))
+    print()
+    rows = []
+    for name, data in sorted(metrics["histograms"].items()):
+        rows.append([
+            name,
+            data["count"],
+            f"{(data['sum'] * 1000):.3f}",
+            f"{((data['min'] or 0.0) * 1000):.3f}",
+            f"{((data['max'] or 0.0) * 1000):.3f}",
+        ])
+    print(format_table(
+        ["histogram", "count", "sum_ms", "min_ms", "max_ms"],
+        rows,
+        "latency histograms",
+    ))
+    print()
+    print(obs.slow_log.render())
+    return 0
+
+
 def cmd_attack(args: argparse.Namespace) -> int:
     from repro.security.attacks import (
         FrequencyAttack,
@@ -281,6 +395,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(schemes)
     schemes.set_defaults(handler=cmd_schemes)
+
+    trace = subparsers.add_parser(
+        "trace", help="run one query, print its span tree"
+    )
+    _add_workload_arguments(trace)
+    trace.add_argument("xpath", help="the XPath query to trace")
+    trace.set_defaults(handler=cmd_trace)
+
+    stats = subparsers.add_parser(
+        "stats", help="run a workload, export observability stats"
+    )
+    _add_workload_arguments(stats)
+    stats.add_argument(
+        "--per-class", type=int, default=3, dest="per_class",
+        help="queries generated per §7.1 query class",
+    )
+    stats.add_argument(
+        "--format", choices=("table", "json", "prometheus"),
+        default="table", help="export format",
+    )
+    stats.set_defaults(handler=cmd_stats)
 
     attack = subparsers.add_parser(
         "attack", help="frequency attack vs the defences"

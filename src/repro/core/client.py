@@ -13,8 +13,12 @@ The client owns the master key and the OPESS plans.  Its two runtime jobs:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import hmac as _compare
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs import Observability
 
 from repro.core.decoy import remove_decoys
 from repro.core.encryptor import HostedDatabase
@@ -108,9 +112,11 @@ class Client:
         keyring: ClientKeyring,
         hosted: HostedDatabase,
         enable_cache: bool = True,
+        obs: "Observability | None" = None,
     ) -> None:
         self._keyring = keyring
         self._hosted = hosted
+        self._obs = obs
         self._root_tag = hosted.root_tag
         self._secure = hosted.secure
         self._translator = QueryTranslator(
@@ -360,16 +366,11 @@ class Client:
             tasks = [(key,) + jobs[block_id] for block_id in order]
             counters.add("parallel_decrypt_tasks", len(tasks))
             counters.add("block_cache_misses", len(tasks))
+            # Worker-side increments (blocks_decrypted, per-process
+            # key_expansions) come back as per-task deltas merged by
+            # map_ordered at join; crediting them here again would double
+            # count.  A single task runs inline and counts itself anyway.
             plaintexts = pool.map_ordered(_decrypt_block_payload, tasks)
-            if len(tasks) >= 2:
-                # The workers' own counters die with their processes, so
-                # the CBC block count is credited here with the mode's
-                # formula.  A single task ran inline in this process and
-                # already counted itself.
-                counters.add(
-                    "blocks_decrypted",
-                    sum(len(jobs[b][1]) // 16 for b in order),
-                )
             for block_id, plaintext in zip(order, plaintexts):
                 subtree = parse_fragment(plaintext.decode("utf-8"))
                 plain[block_id] = subtree
@@ -438,18 +439,32 @@ class Client:
         repeated node, so the dict lookup reuses Python's cached string
         hash.  Cached trees are pristine; callers get deep clones because
         assembly re-parents them.
+
+        Only the cache-*miss* path is instrumented (span + histogram):
+        a warm hit is one dict lookup, and per-fragment instrumentation
+        on it would cost more than the work it measures — the obs
+        overhead benchmark gates exactly this.
         """
         if self._tree_cache is None:
-            return self._build_fragment_tree(xml)
+            return self._traced_build_fragment_tree(xml)
         self._check_epoch()
         cached = self._tree_cache.get(xml)
         if cached is not None:
             counters.add("tree_cache_hits")
             return cached.clone()
         counters.add("tree_cache_misses")
-        tree = self._build_fragment_tree(xml)
+        tree = self._traced_build_fragment_tree(xml)
         self._tree_cache[xml] = tree
         return tree.clone()
+
+    def _traced_build_fragment_tree(self, xml: str) -> Element:
+        obs = self._obs
+        if obs is None or not obs.enabled:
+            return self._build_fragment_tree(xml)
+        with obs.tracer.span("decrypt_fragment") as span:
+            tree = self._build_fragment_tree(xml)
+        obs.metrics.observe("chunk_decrypt_seconds", span.finish())
+        return tree
 
     def _build_fragment_tree(self, xml: str) -> Element:
         root = parse_fragment(xml)

@@ -77,6 +77,14 @@ class HostedDatabase:
     #: blocks, structural-index interval arrays — are keyed or gated on
     #: it, so one integer compare invalidates every layer at once.
     epoch: int = 0
+    #: High-water mark of hosted node ids: the largest id ever assigned in
+    #: the hosted tree (elements, attributes and block placeholders).  All
+    #: id allocation goes through :meth:`allocate_hosted_id`, so inserts
+    #: cost O(1) instead of a full-tree walk per insert.  Deletes never
+    #: lower the mark — ids are never reused, which also means a fragment
+    #: path can never alias a node deleted earlier in the epoch.  ``None``
+    #: (hostings loaded from pre-mark storage) triggers one lazy scan.
+    max_hosted_id: int | None = None
 
     def bump_epoch(self) -> None:
         """Advance the scheme epoch after a hosted-state mutation.
@@ -91,6 +99,27 @@ class HostedDatabase:
         self.epoch += 1
         self.structural_index.invalidate_caches()
         counters.add("epoch_invalidations")
+
+    def allocate_hosted_id(self) -> int:
+        """Next fresh hosted node id (advances the high-water mark)."""
+        if self.max_hosted_id is None:
+            self.max_hosted_id = self._scan_max_hosted_id()
+        self.max_hosted_id += 1
+        return self.max_hosted_id
+
+    def _scan_max_hosted_id(self) -> int:
+        """Full-tree walk for the largest assigned id (legacy hostings).
+
+        Runs at most once per loaded database — every allocation after
+        the first maintains the mark incrementally.
+        """
+        best = 0
+        for node in self.hosted_root.iter():
+            best = max(best, node.node_id)
+            if isinstance(node, Element):
+                for attribute in node.attributes:
+                    best = max(best, attribute.node_id)
+        return best
 
     def hosted_size_bytes(self) -> int:
         """Size of the serialized hosted database, |E(D)|."""
@@ -194,7 +223,7 @@ def host_database(
             hosted_root = placeholder
         else:
             subtree.replace_with(placeholder)
-    _renumber_hosted(hosted_root)
+    hosted_id_count = _renumber_hosted(hosted_root)
 
     # --- attach server-visible plaintext info to index entries ---
     # hosted.node_by_id still resolves *original* ids: _renumber_hosted
@@ -223,6 +252,7 @@ def host_database(
         decoy_count=decoy_count,
         secure=secure,
         occurrences=occurrences,
+        max_hosted_id=hosted_id_count - 1,
     )
 
 
@@ -253,12 +283,13 @@ def _node_key(node: Node) -> str | None:
     return None
 
 
-def _renumber_hosted(root: Node) -> None:
+def _renumber_hosted(root: Node) -> int:
     """Assign fresh document-order ids over the hosted tree.
 
     The hosted tree mixes elements, attributes and block placeholders; its
     ids are the stable ancestor identifiers the server puts in fragment
-    paths (and the client uses to merge skeletons).
+    paths (and the client uses to merge skeletons).  Returns the number of
+    ids assigned, which seeds the hosted database's id high-water mark.
     """
     counter = 0
     stack: list[Node] = [root]
@@ -271,3 +302,4 @@ def _renumber_hosted(root: Node) -> None:
                 attribute.node_id = counter
                 counter += 1
         stack.extend(reversed(node.children))
+    return counter

@@ -31,7 +31,10 @@ from concurrent.futures import (
     ThreadPoolExecutor,
 )
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs import Observability
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -139,6 +142,12 @@ class WorkerPool:
     def __init__(self, config: ParallelConfig) -> None:
         self.config = config
         self._executor: Executor | None = None
+        #: Observability context set by the owning system.  Thread-backend
+        #: tasks are wrapped at submit time so their spans attach under
+        #: whatever span the *submitting* thread had open; the process
+        #: backend instead ships per-task counter deltas back (see
+        #: :meth:`map_ordered` and ``repro/perf/counters.py``).
+        self.obs: "Observability | None" = None
 
     @property
     def backend(self) -> str:
@@ -161,9 +170,15 @@ class WorkerPool:
                 )
         return self._executor
 
+    def _propagate(self, fn: Callable[..., R]) -> Callable[..., R]:
+        """Carry the submitting thread's span context onto the worker."""
+        if self.obs is None or self.config.backend != "thread":
+            return fn
+        return self.obs.tracer.wrap(fn)
+
     def submit(self, fn: Callable[..., R], /, *args: Any, **kwargs: Any):
         """Schedule one task; returns its ``Future``."""
-        return self._ensure().submit(fn, *args, **kwargs)
+        return self._ensure().submit(self._propagate(fn), *args, **kwargs)
 
     def map_ordered(
         self, fn: Callable[[T], R], items: Sequence[T]
@@ -173,11 +188,27 @@ class WorkerPool:
         Short inputs (fewer than two items, or a one-worker pool where
         fan-out buys nothing but scheduling overhead for *independent*
         tasks) run inline on the calling thread.
+
+        Process-backend tasks run against the *child's* counter registry,
+        whose increments would die with the worker; each task therefore
+        returns its per-task counter delta alongside the result, and they
+        are folded into the parent registry here at join — thread and
+        process backends report equal work counts on the same workload.
         """
         if len(items) < 2 or self.config.workers < 2:
             return [fn(item) for item in items]
         executor = self._ensure()
-        return list(executor.map(fn, items))
+        if self.config.backend == "process":
+            from repro.perf import counters
+
+            results: list[R] = []
+            for result, delta in executor.map(
+                _call_with_counter_delta, [(fn, item) for item in items]
+            ):
+                counters.merge(delta)
+                results.append(result)
+            return results
+        return list(executor.map(self._propagate(fn), items))
 
     def close(self) -> None:
         """Shut the executor down (idempotent; pool restarts on next use)."""
@@ -190,6 +221,28 @@ class WorkerPool:
 
     def __exit__(self, *_exc: Any) -> None:
         self.close()
+
+
+def _call_with_counter_delta(
+    task: "tuple[Callable[[Any], Any], Any]",
+) -> "tuple[Any, dict[str, int]]":
+    """Run one task in a worker process, returning (result, counter delta).
+
+    Module-level so it pickles.  Process-pool workers execute tasks
+    serially, so the snapshot pair brackets exactly this task's
+    increments; only nonzero entries travel back over the pipe.
+    """
+    from repro.perf import counters
+
+    fn, item = task
+    before = counters.snapshot()
+    result = fn(item)
+    delta = {
+        name: value
+        for name, value in counters.delta_since(before).items()
+        if value
+    }
+    return result, delta
 
 
 def filter_shards(

@@ -14,9 +14,13 @@ document and re-evaluate the original query exactly.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs import Observability
 
 from repro.core.dsi import IndexEntry, StructuralIndex
 from repro.core.encryptor import HostedDatabase
@@ -84,8 +88,10 @@ class Server:
         session_keys: "tuple[bytes, bytes] | None" = None,
         pool: "WorkerPool | None" = None,
         min_shard: int = 64,
+        obs: "Observability | None" = None,
     ) -> None:
         self._hosted = hosted
+        self._obs = obs
         self._hosted_root = hosted.hosted_root
         self._structure: StructuralIndex = hosted.structural_index
         self._values: ValueIndex = hosted.value_index
@@ -137,15 +143,28 @@ class Server:
             candidate_counts=result.candidate_counts,
         )
 
+    def _span(self, name: str):
+        """Span for one server stage, under the caller's ambient span.
+
+        The system opens a ``server`` span around every call into this
+        class (including each stream-generator pull), so these children
+        break its time into join vs. serialization.  No-op without an
+        enabled observability context.
+        """
+        if self._obs is None or not self._obs.enabled:
+            return nullcontext()
+        return self._obs.tracer.span(name)
+
     def _match(self, query: TranslatedQuery) -> MatchResult:
         """Structural join, sharded across the pool when one is set."""
-        return match_pattern(
-            query,
-            self._structure,
-            self._values,
-            pool=self._pool,
-            min_shard=self._min_shard,
-        )
+        with self._span("server.join"):
+            return match_pattern(
+                query,
+                self._structure,
+                self._values,
+                pool=self._pool,
+                min_shard=self._min_shard,
+            )
 
     def _make_fragments(self, roots: list[Node]) -> list[Fragment]:
         """Serialize the shipped subtrees, fanned across the pool.
@@ -154,13 +173,14 @@ class Server:
         path; the fragment cache tolerates concurrent writers (worst case
         two workers serialize the same node to the identical fragment).
         """
-        if (
-            self._pool is not None
-            and self._pool.backend == "thread"
-            and len(roots) >= 2
-        ):
-            return self._pool.map_ordered(self._make_fragment, roots)
-        return [self._make_fragment(node) for node in roots]
+        with self._span("server.serialize"):
+            if (
+                self._pool is not None
+                and self._pool.backend == "thread"
+                and len(roots) >= 2
+            ):
+                return self._pool.map_ordered(self._make_fragment, roots)
+            return [self._make_fragment(node) for node in roots]
 
     @staticmethod
     def _count_blocks(roots: list[Node]) -> int:

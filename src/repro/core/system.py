@@ -29,6 +29,7 @@ from repro.crypto.keyring import ClientKeyring
 from repro.netsim.channel import Channel
 from repro.netsim.faults import TransferDropped
 from repro.netsim.message import MessageDecodeError, assemble_stream
+from repro.obs import Observability, Span
 from repro.perf import counters
 from repro.xmldb.node import Document
 from repro.xpath.compiler import UnsupportedQuery
@@ -80,7 +81,15 @@ class RetryPolicy:
 
 @dataclass
 class QueryTrace:
-    """Per-stage cost breakdown for one query (the Fig. 9 quantities)."""
+    """Per-stage cost breakdown for one query (the Fig. 9 quantities).
+
+    Since the observability layer landed, the scalar timing fields here
+    are a *compatibility view*: each is assigned from the duration of the
+    correspondingly named span in :attr:`span` (``translate``, ``server``,
+    ``transfer``, ``decrypt``, ``postprocess``, ``backoff``), so
+    ``span.total(name)`` and the matching field always reconcile — one
+    measurement, two presentations.
+    """
 
     query: str
     naive: bool = False
@@ -101,6 +110,12 @@ class QueryTrace:
     drops: int = 0
     fell_back: bool = False
     backoff_s: float = 0.0
+    #: Root of the query's span tree (None when tracing is disabled or
+    #: the trace came from the answer memo).  Excluded from comparisons
+    #: and reprs: two traces of the same exchange stay equal.
+    span: "Span | None" = dataclass_field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def client_s(self) -> float:
@@ -166,6 +181,7 @@ class SecureXMLSystem:
         retry_policy: RetryPolicy | None = None,
         parallel: ParallelConfig | None = None,
         pool: WorkerPool | None = None,
+        observability: "Observability | bool | None" = None,
     ) -> None:
         self.client = client
         self.server = server
@@ -181,6 +197,16 @@ class SecureXMLSystem:
         self._fast_path = fast_path
         self.parallel = parallel or ParallelConfig(workers=0)
         self._pool = pool if self.parallel.enabled else None
+        # One observability context threads through every layer: the
+        # system owns it and wires it into its collaborators, so spans
+        # opened deep in the client/server/channel nest under the query
+        # span regardless of which layer opened them.
+        self._obs = Observability.coerce(observability)
+        client._obs = self._obs
+        server._obs = self._obs
+        channel.obs = self._obs
+        if self._pool is not None:
+            self._pool.obs = self._obs
         #: epoch-gated completed-exchange memo (parallel engine only):
         #: xpath → (pristine answer, pristine trace).  Hits hand out
         #: clones, so callers can mutate answers freely.
@@ -204,6 +230,7 @@ class SecureXMLSystem:
         fast_path: bool = True,
         retry_policy: RetryPolicy | None = None,
         parallel: "ParallelConfig | bool | int | None" = None,
+        observability: "Observability | bool | None" = None,
     ) -> "SecureXMLSystem":
         """Encrypt ``document`` under the given scheme and stand up a system.
 
@@ -223,6 +250,12 @@ class SecureXMLSystem:
         worker pool, sharded server evaluation and the answer memo.
         Answers are byte-identical either way — parallelism changes the
         schedule, never the result.
+
+        ``observability`` wires the tracing/metrics/slow-log context (see
+        :class:`~repro.obs.Observability.coerce`): ``None``/``True``
+        builds an enabled context, ``False`` a disabled one (spans are
+        still timed — the trace fields depend on them — but nothing is
+        linked, logged or exported), and an existing instance is shared.
         """
         from repro.xmldb.serializer import serialize
 
@@ -267,7 +300,12 @@ class SecureXMLSystem:
             retry_policy=retry_policy,
             parallel=config,
             pool=pool,
+            observability=observability,
         )
+
+    def observability(self) -> Observability:
+        """The system's observability context (tracer, metrics, slow log)."""
+        return self._obs
 
     def flush_caches(self) -> None:
         """Drop every client- and server-side warm-path cache.
@@ -330,37 +368,68 @@ class SecureXMLSystem:
         so the caller can overlap post-processing with the next query's
         server work; queries that complete inline anyway (naive path,
         untranslatable queries) still return the finished answer.
+
+        Opens the query's root span and keeps it ambient for the whole
+        run, so every stage span — including those opened by the client,
+        server, channel and pool workers — nests under it.  The root is
+        finished (and the query folded into the metrics/slow log) by
+        :meth:`_finish`, which for a deferred query may run later on a
+        pool worker; a query that fails outright is finished and recorded
+        here, annotated ``failed``.
         """
         trace = QueryTrace(query=xpath)
+        tracer = self._obs.tracer
+        root = tracer.begin("query", query=xpath)
+        if tracer.enabled:
+            trace.span = root
+        with tracer.activate(root):
+            try:
+                return self._run_query_attempts(xpath, trace, deferred)
+            except QueryFailedError:
+                root.annotate(failed=True)
+                root.finish()
+                self._obs.record_query(trace, trace.span, failed=True)
+                raise
+
+    def _run_query_attempts(
+        self, xpath: str, trace: QueryTrace, deferred: bool
+    ) -> "QueryAnswer | tuple[ServerResponse, QueryTrace]":
         policy = self.retry_policy
+        tracer = self._obs.tracer
         started_wall = time.perf_counter()
 
-        started = time.perf_counter()
-        try:
-            translated = self.client.translate(xpath)
-        except UnsupportedQuery:
-            translated = None
-        trace.translate_client_s = time.perf_counter() - started
+        with tracer.span("translate") as span:
+            try:
+                translated = self.client.translate(xpath)
+            except UnsupportedQuery:
+                translated = None
+        trace.translate_client_s = span.finish()
 
         last_error: Exception | None = None
         if translated is not None:
             for attempt in range(policy.max_attempts):
                 self._pre_attempt(attempt, trace, started_wall, policy)
+                attempt_span: Span | None = None
                 try:
-                    if self._pool is not None:
-                        response, jobs = self._secure_exchange_stream(
-                            xpath, translated, trace, prefetch=not deferred
-                        )
-                    else:
-                        response = self._secure_exchange(
-                            xpath, translated, trace
-                        )
-                        jobs = None
+                    with tracer.span(
+                        "attempt", number=trace.attempts
+                    ) as attempt_span:
+                        if self._pool is not None:
+                            response, jobs = self._secure_exchange_stream(
+                                xpath, translated, trace, prefetch=not deferred
+                            )
+                        else:
+                            response = self._secure_exchange(
+                                xpath, translated, trace
+                            )
+                            jobs = None
                     if deferred:
                         return response, trace
                     return self._finish(xpath, response, trace, jobs)
                 except _RETRYABLE as exc:
                     last_error = self._record_failure(exc, trace)
+                    if attempt_span is not None:
+                        attempt_span.annotate(error=type(exc).__name__)
             if not policy.naive_fallback:
                 counters.add("queries_failed")
                 raise QueryFailedError(
@@ -377,10 +446,16 @@ class SecureXMLSystem:
                 started_wall,
                 policy,
             )
+            attempt_span = None
             try:
-                return self._finish_naive(xpath, trace)
+                with tracer.span(
+                    "attempt", number=trace.attempts, naive=True
+                ) as attempt_span:
+                    return self._finish_naive(xpath, trace)
             except _RETRYABLE as exc:
                 last_error = self._record_failure(exc, trace)
+                if attempt_span is not None:
+                    attempt_span.annotate(error=type(exc).__name__)
         counters.add("queries_failed")
         raise QueryFailedError(
             f"query failed after {trace.attempts} attempts "
@@ -419,6 +494,7 @@ class SecureXMLSystem:
             postprocess_client_s=0.0,
             backoff_s=0.0,
             candidate_counts=dict(trace.candidate_counts),
+            span=None,
         )
         return answer.clone(), hit_trace
 
@@ -435,9 +511,15 @@ class SecureXMLSystem:
             return
         self._check_memo_epoch()
         if xpath not in self._answer_memo:
+            # ``span=None``: memoizing the span tree would pin every
+            # stored query's spans for the memo's lifetime.
             self._answer_memo[xpath] = (
                 answer.clone(),
-                replace(trace, candidate_counts=dict(trace.candidate_counts)),
+                replace(
+                    trace,
+                    candidate_counts=dict(trace.candidate_counts),
+                    span=None,
+                ),
             )
 
     def _check_memo_epoch(self) -> None:
@@ -467,6 +549,12 @@ class SecureXMLSystem:
             trace.backoff_s += delay
             counters.add("query_retries")
             trace.retries += 1
+            if self._obs.enabled:
+                # Backoff is modelled, not slept — the span carries the
+                # modelled delay so totals reconcile with ``backoff_s``.
+                span = self._obs.tracer.begin("backoff", retry=trace.retries)
+                span.set_duration(delay)
+                self._obs.metrics.observe("retry_backoff_seconds", delay)
         elapsed = (
             time.perf_counter() - started_wall
             + trace.backoff_s
@@ -494,21 +582,24 @@ class SecureXMLSystem:
         self, xpath: str, translated, trace: QueryTrace
     ) -> ServerResponse:
         """One sealed request/response round trip over the channel."""
-        request = self.client.seal_request(translated, cache_key=xpath)
+        tracer = self._obs.tracer
+        with tracer.span("seal"):
+            request = self.client.seal_request(translated, cache_key=xpath)
         request, seconds = self.channel.transfer(
             "client->server", "query", request
         )
         trace.transfer_s += seconds
 
-        started = time.perf_counter()
-        sealed = self.server.answer_wire(request)
-        trace.server_s += time.perf_counter() - started
+        with tracer.span("server") as span:
+            sealed = self.server.answer_wire(request)
+        trace.server_s += span.finish()
 
         sealed, seconds = self.channel.transfer(
             "server->client", "answer", sealed
         )
         trace.transfer_s += seconds
-        response = self.client.open_response(sealed)
+        with tracer.span("verify"):
+            response = self.client.open_response(sealed)
         trace.candidate_counts = response.candidate_counts
         return response
 
@@ -530,7 +621,9 @@ class SecureXMLSystem:
         dropped, duplicated or reordered chunk surfaces as the usual
         retryable integrity error, never as a silently reordered answer.
         """
-        request = self.client.seal_request(translated, cache_key=xpath)
+        tracer = self._obs.tracer
+        with tracer.span("seal"):
+            request = self.client.seal_request(translated, cache_key=xpath)
         request, seconds = self.channel.transfer(
             "client->server", "query", request
         )
@@ -545,18 +638,17 @@ class SecureXMLSystem:
         chunks = []
         jobs: "list[tuple[object, Future]] | None" = [] if fan_out else None
         while True:
-            started = time.perf_counter()
-            try:
-                sealed = next(stream)
-            except StopIteration:
-                trace.server_s += time.perf_counter() - started
+            with tracer.span("server") as span:
+                sealed = next(stream, None)
+            trace.server_s += span.finish()
+            if sealed is None:
                 break
-            trace.server_s += time.perf_counter() - started
             sealed, seconds = self.channel.transfer(
                 "server->client", "answer", sealed
             )
             trace.transfer_s += seconds
-            chunk = self.client.open_chunk(sealed)
+            with tracer.span("verify"):
+                chunk = self.client.open_chunk(sealed)
             chunks.append(chunk)
             if jobs is not None and chunk.kind == "fragments":
                 counters.add("parallel_decrypt_tasks", len(chunk.fragments))
@@ -754,32 +846,43 @@ class SecureXMLSystem:
     def _refresh_client(self) -> None:
         """Rebuild the client translator after hosted-state mutation."""
         self.client = Client(
-            self._keyring, self.hosted, enable_cache=self._fast_path
+            self._keyring,
+            self.hosted,
+            enable_cache=self._fast_path,
+            obs=self._obs,
         )
 
     def naive_query(self, xpath: str) -> QueryAnswer:
         """Answer a query with the §7.3 naive baseline (ship everything)."""
         trace = QueryTrace(query=xpath)
         trace.attempts = 1
-        return self._finish_naive(xpath, trace)
+        tracer = self._obs.tracer
+        root = tracer.begin("query", query=xpath, naive=True)
+        if tracer.enabled:
+            trace.span = root
+        with tracer.activate(root):
+            return self._finish_naive(xpath, trace)
 
     def _finish_naive(self, xpath: str, trace: QueryTrace) -> QueryAnswer:
         trace.naive = True
-        request = self.client.seal_naive_request(xpath)
+        tracer = self._obs.tracer
+        with tracer.span("seal"):
+            request = self.client.seal_naive_request(xpath)
         request, seconds = self.channel.transfer(
             "client->server", "query", request
         )
         trace.transfer_s += seconds
 
-        started = time.perf_counter()
-        sealed = self.server.ship_all_wire(request)
-        trace.server_s += time.perf_counter() - started
+        with tracer.span("server") as span:
+            sealed = self.server.ship_all_wire(request)
+        trace.server_s += span.finish()
 
         sealed, seconds = self.channel.transfer(
             "server->client", "answer", sealed
         )
         trace.transfer_s += seconds
-        response = self.client.open_response(sealed)
+        with tracer.span("verify"):
+            response = self.client.open_response(sealed)
         return self._finish(xpath, response, trace)
 
     def _finish(
@@ -803,25 +906,36 @@ class SecureXMLSystem:
         trace.fragments_returned = len(response.fragments)
         trace.transfer_bytes = response.size_bytes()
 
-        started = time.perf_counter()
-        if jobs is not None and len(jobs) == len(response.fragments):
-            decrypted = [
-                (fragment, future.result()) for fragment, future in jobs
-            ]
-        else:
-            decrypted = self.client.decrypt_fragments(
-                response, pool=self._pool if use_pool else None
-            )
-        trace.decrypt_client_s = time.perf_counter() - started
+        tracer = self._obs.tracer
+        # The deferred batch path runs ``_finish`` on a pool worker where
+        # no span is ambient — re-activate the query's root so the stage
+        # spans land under it regardless of which thread finishes.
+        with tracer.activate(trace.span):
+            with tracer.span("decrypt") as span:
+                if jobs is not None and len(jobs) == len(response.fragments):
+                    decrypted = [
+                        (fragment, future.result())
+                        for fragment, future in jobs
+                    ]
+                else:
+                    decrypted = self.client.decrypt_fragments(
+                        response, pool=self._pool if use_pool else None
+                    )
+            trace.decrypt_client_s = span.finish()
 
-        started = time.perf_counter()
-        pruned = self.client.assemble(decrypted)
-        answer = self.client.post_process(xpath, pruned)
-        trace.postprocess_client_s = time.perf_counter() - started
+            with tracer.span("postprocess") as span:
+                pruned = self.client.assemble(decrypted)
+                answer = self.client.post_process(xpath, pruned)
+            trace.postprocess_client_s = span.finish()
 
         trace.answer_count = len(answer)
+        root = trace.span
+        if root is not None:
+            root.annotate(answers=trace.answer_count)
+            root.finish()
         self.last_trace = trace
         self._memo_store(xpath, answer, trace)
+        self._obs.record_query(trace, root)
         return answer
 
 

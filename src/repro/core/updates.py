@@ -391,11 +391,11 @@ class UpdateEngine:
         return (max(existing) + 1) if existing else 1
 
     def _next_hosted_id(self) -> int:
-        best = 0
-        root: Node = self._hosted.hosted_root
-        for node in root.iter():
-            best = max(best, node.node_id)
-            if isinstance(node, Element):
-                for attribute in node.attributes:
-                    best = max(best, attribute.node_id)
-        return best + 1
+        """Fresh hosted node id, from the database's high-water mark.
+
+        O(1) per insert: the mark is seeded at hosting (or by one lazy
+        full-tree scan for databases loaded from pre-mark storage) and
+        maintained by every allocation; see
+        :meth:`HostedDatabase.allocate_hosted_id`.
+        """
+        return self._hosted.allocate_hosted_id()

@@ -174,18 +174,38 @@ class FaultyChannel(Channel):
         if decision.duplicate:
             seconds += self.send(direction, f"{label}+dup", len(payload))
             counters.add("faults_duplicated")
+            self._annotate_fault("duplicate")
         if decision.delay_seconds:
             seconds += decision.delay_seconds
             counters.add("faults_delayed")
+            self._annotate_fault("delay")
         if decision.drop:
             counters.add("faults_dropped")
+            self._annotate_fault("drop")
             raise TransferDropped(f"{direction} {label!r} dropped")
         if decision.truncate_to is not None:
             payload = payload[: decision.truncate_to]
             counters.add("faults_truncated")
+            self._annotate_fault("truncate")
         if decision.corrupt_offset is not None and decision.corrupt_offset < len(payload):
             mutated = bytearray(payload)
             mutated[decision.corrupt_offset] ^= decision.corrupt_xor
             payload = bytes(mutated)
             counters.add("faults_corrupted")
+            self._annotate_fault("corrupt")
+        self.observe_transfer(direction, label, len(payload), seconds)
         return payload, seconds
+
+    def _annotate_fault(self, kind: str) -> None:
+        """Tag the caller's open span with an injected-fault event.
+
+        The ambient span at transfer time is the query's root (or its
+        current attempt), so the slow-query log and rendered trace trees
+        show *which* faults a slow or retried query actually hit.
+        """
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            return
+        span = obs.tracer.current()
+        if span is not None:
+            span.add_event("faults", kind)

@@ -1,0 +1,288 @@
+"""Metrics registry: counters + latency histograms, with two exporters.
+
+Wraps the process-wide :data:`repro.perf.counters` registry (counters
+stay global — the crypto layer increments them without any handle on a
+system object) and adds per-registry latency histograms for the stages
+the paper's §7 experiments care about: whole-query latency, per-chunk
+fragment decryption, retry backoff, and modelled wire transfer.
+
+Exporters:
+
+* :meth:`MetricsRegistry.to_json` — a plain dict for tests, the bench
+  harness, and ``repro stats --format json``;
+* :meth:`MetricsRegistry.to_prometheus` — Prometheus text exposition
+  format 0.0.4 (``# HELP``/``# TYPE`` headers, ``_total`` counters,
+  ``_bucket{le=...}``/``_sum``/``_count`` histograms), linted by
+  :func:`lint_prometheus` in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from typing import Any, Iterable
+
+from repro.perf import counters as _global_counters
+from repro.perf.counters import PerfCounters
+
+#: Log-spaced upper bounds (seconds) covering 0.1ms .. 10s — wide enough
+#: for both a warm memo hit and a naive ship-everything fallback.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Histograms every registry carries, with their HELP strings.
+HISTOGRAMS: dict[str, str] = {
+    "query_seconds": "End-to-end secure query latency (client wall time).",
+    "chunk_decrypt_seconds": "Per-fragment decrypt+strip time on the client.",
+    "retry_backoff_seconds": "Modelled backoff before each query retry.",
+    "transfer_seconds": "Modelled wire time per channel transfer.",
+}
+
+_PROM_PREFIX = "repro_"
+
+
+class Histogram:
+    """Fixed-bucket latency histogram (cumulative, Prometheus-style).
+
+    Not thread-safe by itself; :class:`MetricsRegistry` serializes
+    :meth:`observe` under its own lock.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                repr(bound): cumulative
+                for bound, cumulative in zip(self.buckets, self.bucket_counts)
+            },
+        }
+
+
+class MetricsRegistry:
+    """Counters (global) + histograms (per registry), exportable."""
+
+    def __init__(self, perf: PerfCounters | None = None) -> None:
+        self._perf = perf if perf is not None else _global_counters
+        self._lock = threading.Lock()
+        self._histograms = {name: Histogram() for name in HISTOGRAMS}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Record one latency sample into histogram ``name``."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            raise ValueError(
+                f"unknown histogram {name!r}; known: "
+                + ", ".join(sorted(self._histograms))
+            )
+        with self._lock:
+            histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    # Counter passthrough (so callers stop poking the global directly)
+    # ------------------------------------------------------------------
+    def counter_values(self) -> dict[str, int]:
+        return self._perf.snapshot()
+
+    def counters_delta(self, before: dict[str, int]) -> dict[str, int]:
+        return self._perf.delta_since(before)
+
+    def hit_rate(self, cache: str) -> float:
+        return self._perf.hit_rate(cache)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Counters + histograms as one consistent-enough dict."""
+        with self._lock:
+            histograms = {
+                name: histogram.as_dict()
+                for name, histogram in self._histograms.items()
+            }
+        return {"counters": self._perf.snapshot(), "histograms": histograms}
+
+    def reset_histograms(self) -> None:
+        with self._lock:
+            self._histograms = {name: Histogram() for name in HISTOGRAMS}
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4."""
+        lines: list[str] = []
+        counter_values = self._perf.snapshot()
+        for name in sorted(counter_values):
+            metric = f"{_PROM_PREFIX}{name}_total"
+            lines.append(f"# HELP {metric} Cumulative count of {name}.")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {counter_values[name]}")
+        with self._lock:
+            for name in sorted(self._histograms):
+                histogram = self._histograms[name]
+                metric = f"{_PROM_PREFIX}{name}"
+                lines.append(f"# HELP {metric} {HISTOGRAMS[name]}")
+                lines.append(f"# TYPE {metric} histogram")
+                for bound, cumulative in zip(
+                    histogram.buckets, histogram.bucket_counts
+                ):
+                    lines.append(
+                        f'{metric}_bucket{{le="{_format_le(bound)}"}} '
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f'{metric}_bucket{{le="+Inf"}} {histogram.count}'
+                )
+                lines.append(f"{metric}_sum {_format_value(histogram.sum)}")
+                lines.append(f"{metric}_count {histogram.count}")
+        return "\n".join(lines) + "\n"
+
+
+def _format_le(bound: float) -> str:
+    text = f"{bound:.10f}".rstrip("0")
+    return text + "0" if text.endswith(".") else text
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+# Exposition-format lint (CI gate) and parse-back (round-trip tests)
+# ----------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'  # optional labels
+    r" -?[0-9.eE+]+(Inf|NaN)?$"  # value
+)
+
+
+def lint_prometheus(text: str) -> list[str]:
+    """Return format violations ([] when the exposition is clean).
+
+    Checks the rules CI enforces: one metric per line, no blank lines,
+    every sample preceded by ``# HELP`` and ``# TYPE`` headers for its
+    family, headers in HELP-then-TYPE order, and samples matching the
+    exposition-format grammar.
+    """
+    problems: list[str] = []
+    helped: set[str] = set()
+    typed: set[str] = set()
+    if not text.endswith("\n"):
+        problems.append("exposition must end with a newline")
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            problems.append(f"line {number}: blank line")
+            continue
+        if line != line.strip():
+            problems.append(f"line {number}: leading/trailing whitespace")
+            line = line.strip()
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[3].strip():
+                problems.append(f"line {number}: HELP without docstring")
+            else:
+                helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+                "summary",
+                "untyped",
+            ):
+                problems.append(f"line {number}: bad TYPE line")
+                continue
+            name = parts[2]
+            if name not in helped:
+                problems.append(f"line {number}: TYPE {name} before HELP")
+            typed.add(name)
+            continue
+        if line.startswith("#"):
+            problems.append(f"line {number}: unknown comment {line!r}")
+            continue
+        if not _SAMPLE_RE.match(line):
+            problems.append(f"line {number}: malformed sample {line!r}")
+            continue
+        name = re.split(r"[{ ]", line, maxsplit=1)[0]
+        family = _family_of(name)
+        if family not in typed:
+            problems.append(
+                f"line {number}: sample {name} without # TYPE header"
+            )
+    return problems
+
+
+def _family_of(sample_name: str) -> str:
+    """Map a sample name to its metric family name.
+
+    Histogram samples ``x_bucket``/``x_sum``/``x_count`` belong to family
+    ``x``; everything else (including ``*_total`` counters, which are
+    exposed under their full name here) is its own family.
+    """
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Sample name+labels → value, for exporter round-trip tests."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, raw = line.rpartition(" ")
+        samples[key] = float(raw)
+    return samples

@@ -13,6 +13,24 @@ between the read and the write, losing increments) and is kept only for
 single-threaded test scaffolding; library code must use ``add``.  Reads
 (:meth:`snapshot`, :meth:`delta_since`, :meth:`hit_rate`) take the same
 lock, so a snapshot is a consistent cut even while workers increment.
+
+Process-backend accounting rule
+-------------------------------
+
+Increments made inside a ``ProcessPoolExecutor`` worker mutate the *child
+process's* registry and would otherwise be lost.  The worker pool closes
+that gap at join: each process-backend task snapshots the child registry
+around the work and returns its per-task delta alongside the result, and
+:meth:`WorkerPool.map_ordered <repro.core.parallel.WorkerPool.map_ordered>`
+folds the deltas into this registry via :meth:`PerfCounters.merge`.  Work
+counters (``blocks_decrypted``, cache traffic, …) therefore report equal
+totals for the thread and process backends on the same workload.
+
+The one deliberate exception is ``key_expansions``: the AES key schedule
+is memoized *per process*, so every worker process pays (and reports) its
+own expansion where the thread backend pays one.  That is a true account
+of work done — process isolation really does re-expand the key — so the
+deltas are merged as-is rather than normalized away.
 """
 
 from __future__ import annotations
@@ -75,6 +93,28 @@ class PerfCounters:
         with _LOCK:
             setattr(self, name, getattr(self, name) + amount)
 
+    def merge(self, delta: dict[str, int]) -> None:
+        """Fold a child process's counter delta into this registry.
+
+        One lock acquisition for the whole delta; unknown names raise
+        (a delta can only legitimately contain field names).
+        """
+        if not delta:
+            return
+        with _LOCK:
+            for name, amount in delta.items():
+                if amount:
+                    setattr(self, name, getattr(self, name) + amount)
+
+    def cache_layers(self) -> tuple[str, ...]:
+        """Names of the cache layers with a hits/misses counter pair."""
+        suffix = "_cache_hits"
+        return tuple(
+            f.name[: -len(suffix)]
+            for f in fields(self)
+            if f.name.endswith(suffix)
+        )
+
     def snapshot(self) -> dict[str, int]:
         """Current values as a plain dict (safe to hold across resets)."""
         with _LOCK:
@@ -94,7 +134,18 @@ class PerfCounters:
                 setattr(self, f.name, 0)
 
     def hit_rate(self, cache: str) -> float:
-        """Hit rate in [0, 1] for one cache layer (0.0 when untouched)."""
+        """Hit rate in [0, 1] for one cache layer (0.0 when untouched).
+
+        Raises :class:`ValueError` naming the known layers for anything
+        else — a typo'd layer name must not surface as an
+        ``AttributeError`` from the registry's internals.
+        """
+        known = self.cache_layers()
+        if cache not in known:
+            raise ValueError(
+                f"unknown cache layer {cache!r}; known layers: "
+                + ", ".join(known)
+            )
         with _LOCK:
             hits = getattr(self, f"{cache}_cache_hits")
             misses = getattr(self, f"{cache}_cache_misses")

@@ -111,3 +111,46 @@ class TestCommands:
             ["query", "--load", directory, "--key", "wrong", "//SSN"]
         ) == 0
         assert "answers (0)" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    def test_trace_prints_tree_and_reconciliation(self, capsys):
+        assert main(["trace", "//patient/SSN"]) == 0
+        out = capsys.readouterr().out
+        assert "answers: 2" in out
+        for stage in ("query", "translate", "server", "decrypt",
+                      "postprocess"):
+            assert stage in out
+        assert "reconciliation" in out
+
+    def test_trace_nests_server_stages(self, capsys):
+        assert main(["trace", "/hospital/patient"]) == 0
+        out = capsys.readouterr().out
+        assert "server.join" in out
+        assert "server.serialize" in out
+
+    def test_stats_table(self, capsys):
+        assert main(["stats", "--per-class", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "latency histograms" in out
+        assert "query_seconds" in out
+        assert "slow-query log" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        assert main(["stats", "--per-class", "1", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["histograms"]["query_seconds"]["count"] > 0
+        assert "slow_queries" in payload
+
+    def test_stats_prometheus_is_lint_clean(self, capsys):
+        from repro.obs import lint_prometheus, parse_prometheus
+
+        assert main(
+            ["stats", "--per-class", "1", "--format", "prometheus"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert lint_prometheus(out) == []
+        samples = parse_prometheus(out)
+        assert samples["repro_query_seconds_count"] > 0

@@ -137,3 +137,69 @@ class TestFieldRebuild:
         token = system.hosted.field_tokens.get("@coverage")
         if token is not None:
             assert system.hosted.value_index.tree_for(token) is None
+
+class TestHostedIdAllocation:
+    """Hosted node ids come from an O(1) high-water mark, not tree walks.
+
+    Inserts used to recompute ``max(node_id)`` by walking the whole
+    hosted tree on every allocation — quadratic over a batch of inserts.
+    The mark is maintained incrementally now; the full walk is a lazy
+    one-shot fallback for hostings loaded from pre-mark storage.
+    """
+
+    def _count_scans(self, hosted, monkeypatch):
+        calls = {"scans": 0}
+        original = type(hosted)._scan_max_hosted_id
+
+        def counting_scan(self):
+            calls["scans"] += 1
+            return original(self)
+
+        monkeypatch.setattr(
+            type(hosted), "_scan_max_hosted_id", counting_scan
+        )
+        return calls
+
+    def test_fresh_hosting_never_scans(
+        self, engine_and_hosted, monkeypatch
+    ):
+        engine, hosted = engine_and_hosted
+        assert hosted.max_hosted_id is not None  # set at hosting time
+        calls = self._count_scans(hosted, monkeypatch)
+        parent = hosted.structural_index.lookup("patient")[0]
+        for index in range(20):
+            engine.insert_element(parent, "note", f"n{index}")
+        assert calls["scans"] == 0
+
+    def test_legacy_hosting_scans_exactly_once(
+        self, engine_and_hosted, monkeypatch
+    ):
+        engine, hosted = engine_and_hosted
+        hosted.max_hosted_id = None  # simulate a pre-mark stored hosting
+        calls = self._count_scans(hosted, monkeypatch)
+        parent = hosted.structural_index.lookup("patient")[0]
+        for index in range(20):
+            engine.insert_element(parent, "note", f"n{index}")
+        assert calls["scans"] == 1
+
+    def test_allocated_ids_are_fresh_and_increasing(self, engine_and_hosted):
+        engine, hosted = engine_and_hosted
+        existing = {node.node_id for node in hosted.hosted_root.iter()}
+        allocated = [hosted.allocate_hosted_id() for _ in range(10)]
+        assert allocated == sorted(allocated)
+        assert len(set(allocated)) == len(allocated)
+        assert not (set(allocated) & existing)
+
+    def test_delete_does_not_lower_the_mark(
+        self, healthcare_doc, healthcare_scs
+    ):
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="opt"
+        )
+        system.insert_element(
+            "//patient[pname='Matt']/treat", "disease", "tempval"
+        )
+        mark = system.hosted.max_hosted_id
+        system.delete_element("//disease[.='tempval']")
+        assert system.hosted.max_hosted_id == mark
+        assert system.hosted.allocate_hosted_id() == mark + 1

@@ -1,0 +1,129 @@
+"""The perf-counter registry: validation, merging, and backend parity.
+
+The backend-parity test is the regression guard for the process-backend
+accounting fix: worker-process increments used to die with the child
+registry, so thread and process runs of the same workload reported
+different work counts.  Deltas are now shipped back and merged at pool
+join (see ``repro/core/parallel.py``), making the two backends agree.
+"""
+
+import pytest
+
+from repro.core.parallel import ParallelConfig
+from repro.core.system import SecureXMLSystem
+from repro.perf import counters
+from repro.perf.counters import PerfCounters
+
+#: Queries over pairwise-disjoint encrypted blocks, so cache traffic is
+#: deterministic regardless of worker scheduling.
+DISJOINT_QUERIES = ["//patient/SSN", "//pname", "//insurance/@coverage"]
+
+
+class TestHitRateValidation:
+    def test_unknown_layer_raises_value_error(self):
+        registry = PerfCounters()
+        with pytest.raises(ValueError, match="unknown cache layer"):
+            registry.hit_rate("nosuch")
+
+    def test_error_names_the_known_layers(self):
+        registry = PerfCounters()
+        with pytest.raises(ValueError, match="plan"):
+            registry.hit_rate("nosuch")
+
+    def test_every_advertised_layer_is_queryable(self):
+        registry = PerfCounters()
+        layers = registry.cache_layers()
+        assert "plan" in layers and "block" in layers
+        for layer in layers:
+            assert registry.hit_rate(layer) == 0.0
+
+    def test_hit_rate_math(self):
+        registry = PerfCounters()
+        registry.add("plan_cache_hits", 3)
+        registry.add("plan_cache_misses", 1)
+        assert registry.hit_rate("plan") == pytest.approx(0.75)
+
+
+class TestMerge:
+    def test_merge_adds_deltas(self):
+        registry = PerfCounters()
+        registry.add("blocks_decrypted", 2)
+        registry.merge({"blocks_decrypted": 3, "query_retries": 1})
+        snapshot = registry.snapshot()
+        assert snapshot["blocks_decrypted"] == 5
+        assert snapshot["query_retries"] == 1
+
+    def test_merge_skips_zero_entries(self):
+        registry = PerfCounters()
+        registry.merge({"blocks_decrypted": 0})
+        assert registry.snapshot()["blocks_decrypted"] == 0
+
+    def test_merge_rejects_unknown_counter(self):
+        registry = PerfCounters()
+        with pytest.raises(AttributeError):
+            registry.merge({"nosuch_counter": 1})
+
+
+class TestBackendParity:
+    """Thread and process pools must report equal work counts."""
+
+    #: Counters that measure *work done*, which scheduling must not change.
+    #: ``key_expansions`` is deliberately absent: the process backend
+    #: re-derives the AES key schedule once per worker process (per-process
+    #: memoization), so it legitimately differs between backends.
+    PARITY_COUNTERS = (
+        "blocks_decrypted",
+        "blocks_encrypted",
+        "queries_failed",
+        "query_retries",
+    )
+
+    def _run_batch(self, doc, scs, parallel) -> dict[str, int]:
+        system = SecureXMLSystem.host(doc, scs, parallel=parallel)
+        try:
+            before = counters.snapshot()
+            answers = system.execute_many(DISJOINT_QUERIES)
+            delta = counters.delta_since(before)
+        finally:
+            system.close()
+        self.answers = [answer.canonical() for answer in answers]
+        return delta
+
+    def test_thread_and_process_counts_agree(
+        self, healthcare_doc, healthcare_scs
+    ):
+        thread_delta = self._run_batch(
+            healthcare_doc,
+            healthcare_scs,
+            ParallelConfig(workers=2, backend="thread"),
+        )
+        thread_answers = self.answers
+        process_delta = self._run_batch(
+            healthcare_doc,
+            healthcare_scs,
+            ParallelConfig(workers=2, backend="process"),
+        )
+        assert self.answers == thread_answers
+        assert thread_delta.get("blocks_decrypted", 0) > 0
+        for name in self.PARITY_COUNTERS:
+            assert thread_delta.get(name, 0) == process_delta.get(name, 0), (
+                name
+            )
+
+    def test_process_worker_increments_survive_the_join(
+        self, healthcare_doc, healthcare_scs
+    ):
+        """The regression itself: worker decrypts must reach the parent."""
+        serial_delta = self._run_batch(
+            healthcare_doc, healthcare_scs, False
+        )
+        process_delta = self._run_batch(
+            healthcare_doc,
+            healthcare_scs,
+            ParallelConfig(workers=2, backend="process"),
+        )
+        assert (
+            process_delta.get("blocks_decrypted", 0)
+            == serial_delta.get("blocks_decrypted", 0)
+            > 0
+        )

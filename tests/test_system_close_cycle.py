@@ -1,0 +1,95 @@
+"""`close()` → query → `close()` cycles keep the system fully coherent.
+
+`SecureXMLSystem.close()` shuts the worker pool down but the system stays
+usable — the pool restarts lazily on the next query.  These tests pin the
+whole surface across such cycles: answers, `last_trace`, the answer memo,
+the perf counters and the observability context all keep working.
+"""
+
+import pytest
+
+from repro.core.system import SecureXMLSystem
+from repro.perf import counters
+
+QUERY = "//patient/SSN"
+
+
+@pytest.fixture
+def system(healthcare_doc, healthcare_scs):
+    system = SecureXMLSystem.host(healthcare_doc, healthcare_scs, parallel=2)
+    yield system
+    system.close()
+
+
+class TestCloseQueryCycles:
+    def test_query_after_close_restarts_the_pool(self, system):
+        baseline = system.query(QUERY).canonical()
+        system.close()
+        assert system.query(QUERY).canonical() == baseline
+        system.close()
+        assert system.query(QUERY).canonical() == baseline
+
+    def test_close_is_idempotent(self, system):
+        system.close()
+        system.close()
+        assert system.query(QUERY) is not None
+
+    def test_last_trace_coherent_across_cycles(self, system):
+        system.query(QUERY)
+        first = system.last_trace
+        system.close()
+        system.query("//pname")
+        second = system.last_trace
+        assert first is not second
+        assert second.query == "//pname"
+        assert second.attempts >= 1
+        if second.span is not None:
+            assert second.span.duration_s is not None
+
+    def test_answer_memo_survives_close(self, system):
+        system.execute_many([QUERY])
+        system.close()
+        before = counters.snapshot()
+        system.execute_many([QUERY])
+        delta = counters.delta_since(before)
+        assert delta.get("answer_cache_hits", 0) == 1
+        # The memo hit's trace reports zero timings — nothing ran.
+        assert system.last_trace.server_s == 0.0
+
+    def test_execute_many_after_close(self, system):
+        queries = [QUERY, "//pname", QUERY]
+        baseline = [a.canonical() for a in system.execute_many(queries)]
+        system.close()
+        again = [a.canonical() for a in system.execute_many(queries)]
+        assert again == baseline
+        assert len(system.last_batch_traces) == len(queries)
+
+    def test_counters_keep_accumulating_across_cycles(self, system):
+        before = counters.snapshot()
+        system.query(QUERY)
+        system.close()
+        system.flush_caches()
+        system.query(QUERY)
+        delta = counters.delta_since(before)
+        # Two cold executions: the second cycle's decrypt work is counted
+        # even though the pool was restarted in between.
+        assert delta.get("blocks_decrypted", 0) > 0
+
+    def test_observability_keeps_recording_across_cycles(self, system):
+        system.query(QUERY)
+        system.close()
+        system.query("//pname")
+        obs = system.observability()
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["histograms"]["query_seconds"]["count"] == 2
+        assert len(obs.slow_log) == 2
+
+    def test_serial_system_close_is_harmless(
+        self, healthcare_doc, healthcare_scs
+    ):
+        serial = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, parallel=False
+        )
+        serial.close()
+        assert serial.query(QUERY) is not None
+        serial.close()
