@@ -1,0 +1,305 @@
+"""E-cluster — scatter–gather throughput and failover latency.
+
+Sweeps the shard count over the XMark workload with every point on the
+coordinator path (``ClusterConfig(shards=1)`` is the baseline — same
+scatter–gather machinery, one shard), so the headline compares sharding
+itself rather than coordinator overhead.  The throughput metric is the
+**modelled warm makespan**: per query, the slowest shard's server+wire
+time plus the gather merge, i.e. what a deployment with genuinely
+parallel shard servers would observe.  The channel is pinned to 10 Mbps
+so answer shipping — the term sharding actually divides — dominates the
+fixed per-exchange latency.
+
+A failover series then injects seeded drop faults into replica 0 of
+every shard (replication factor 2) and records the makespan and backoff
+cost of riding through them; answers must stay byte-identical at every
+fault rate.
+
+Results land in ``benchmarks/results/`` (human-readable) and
+machine-readable ``BENCH_cluster.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+
+import pytest
+
+from repro.bench.harness import format_table, trimmed_mean
+from repro.cluster import ClusterConfig
+from repro.core.system import SecureXMLSystem
+from repro.netsim.channel import Channel
+from repro.netsim.faults import FaultPolicy
+from repro.perf import counters
+from repro.workloads.xmark import xmark_constraints
+from repro.xpath.compiler import UnsupportedQuery
+
+from conftest import BENCH_TRIALS, write_result
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_cluster.json")
+MASTER_KEY = b"cluster!benchmark-master-key-001"
+
+#: shard counts swept — all through the coordinator, so 1 is the cluster
+#: baseline rather than the legacy monolithic path
+SHARD_SWEEP = (1, 2, 4)
+
+#: finer groups than the default smooth out per-query fragment skew
+GROUPS_PER_SHARD = 8
+
+#: narrow enough that shipped bytes dominate the fixed per-leg latency
+BANDWIDTH_BPS = 10_000_000.0
+
+#: seeded drop rates injected into replica 0 for the failover series
+FAULT_RATES = (0.0, 0.25, 0.5)
+
+_REPORT: dict[str, object] = {
+    "trials": BENCH_TRIALS,
+    "bandwidth_bps": BANDWIDTH_BPS,
+    "groups_per_shard": GROUPS_PER_SHARD,
+}
+
+
+def _write_report() -> None:
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(_REPORT, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _channel() -> Channel:
+    return Channel(bandwidth_bits_per_second=BANDWIDTH_BPS)
+
+
+@pytest.fixture(scope="module")
+def cluster_queries(xmark_doc, xmark_queries):
+    """Server-evaluable multi-match queries from the shared workload.
+
+    Qm/Ql answers are many independent fragments, so ownership divides
+    their shipped bytes across shards.  Qs container fetches such as
+    ``/site/people`` return the whole subtree as ONE fragment — an
+    indivisible unit that a fragment-sharded cluster cannot split, so
+    they scale at exactly 1.0x by construction and are covered by the
+    correctness suite rather than the scaling sweep.
+    """
+    probe = SecureXMLSystem.host(
+        xmark_doc, xmark_constraints(), scheme="opt", master_key=MASTER_KEY
+    )
+    unique = []
+    for query_class in ("Qm", "Ql"):
+        for query in xmark_queries[query_class]:
+            try:
+                probe.client.translate(query)
+            except UnsupportedQuery:
+                continue
+            if query not in unique:
+                unique.append(query)
+    assert unique, "workload produced no server-evaluable queries"
+    return unique
+
+
+@pytest.fixture(scope="module")
+def swept_clusters(xmark_doc):
+    """One hosted cluster per swept shard count, identical hosted bytes."""
+    constraints = xmark_constraints()
+    systems = {
+        shards: SecureXMLSystem.host(
+            xmark_doc,
+            constraints,
+            scheme="opt",
+            master_key=MASTER_KEY,
+            cluster=ClusterConfig(
+                shards=shards, groups_per_shard=GROUPS_PER_SHARD
+            ),
+            channel=_channel(),
+        )
+        for shards in SHARD_SWEEP
+    }
+    yield systems
+    for system in systems.values():
+        system.close()
+
+
+def _makespan_pass(system, queries) -> tuple[list[str], float]:
+    """Run the batch once; return canonical answers + summed makespan."""
+    canonical = []
+    makespan = 0.0
+    for query in queries:
+        canonical.append(system.query(query).canonical())
+        makespan += system.last_trace.cluster_makespan_s
+    return canonical, makespan
+
+
+def test_cluster_warm_throughput(swept_clusters, cluster_queries, xmark_doc):
+    """4 shards deliver ≥2× the 1-shard warm scatter–gather throughput."""
+    queries = cluster_queries
+    monolithic = SecureXMLSystem.host(
+        xmark_doc, xmark_constraints(), scheme="opt", master_key=MASTER_KEY
+    )
+    reference = [monolithic.query(query).canonical() for query in queries]
+
+    sweep: list[dict[str, float]] = []
+    for shards, system in swept_clusters.items():
+        # Cold pass: first contact, also warms the shard caches — and the
+        # byte-identity gate: a throughput win that changed an answer
+        # would be a bug, not a result.
+        started = time.perf_counter()
+        canonical, cold_makespan = _makespan_pass(system, queries)
+        cold_wall_s = time.perf_counter() - started
+        assert canonical == reference, (
+            f"{shards}-shard answers diverged from the monolithic server"
+        )
+
+        gc.collect()
+        gc.disable()
+        try:
+            wall_samples = []
+            for _ in range(BENCH_TRIALS):
+                started = time.perf_counter()
+                canonical, warm_makespan = _makespan_pass(system, queries)
+                wall_samples.append(time.perf_counter() - started)
+        finally:
+            gc.enable()
+        assert canonical == reference
+
+        sweep.append(
+            {
+                "shards": shards,
+                "cold_makespan_s": cold_makespan,
+                "warm_makespan_s": warm_makespan,
+                "warm_wall_s": trimmed_mean(wall_samples),
+                "warm_queries_per_model_s": len(queries) / warm_makespan,
+                "cold_wall_s": cold_wall_s,
+            }
+        )
+
+    baseline = sweep[0]
+    for point in sweep:
+        point["warm_speedup_vs_one_shard"] = (
+            baseline["warm_makespan_s"] / point["warm_makespan_s"]
+        )
+
+    rows = [
+        [
+            f"{p['shards']} shard(s)",
+            p["cold_makespan_s"],
+            p["warm_makespan_s"],
+            p["warm_queries_per_model_s"],
+            p["warm_speedup_vs_one_shard"],
+        ]
+        for p in sweep
+    ]
+    write_result(
+        "cluster_scaling",
+        format_table(
+            ["cluster", "t_cold", "t_warm", "q/s warm", "speedup"],
+            rows,
+            f"Scatter–gather scaling — {len(queries)} XMark queries, "
+            f"modelled makespan at {BANDWIDTH_BPS / 1e6:.0f} Mbps",
+        ),
+    )
+    _REPORT["throughput_vs_shards"] = {
+        "query_count": len(queries),
+        "sweep": sweep,
+    }
+    _write_report()
+
+    at_four = next(p for p in sweep if p["shards"] == 4)
+    assert at_four["warm_speedup_vs_one_shard"] >= 2.0, (
+        f"warm speedup {at_four['warm_speedup_vs_one_shard']:.2f}x below "
+        "the 2x acceptance floor"
+    )
+
+
+def test_cluster_failover_latency(xmark_doc, cluster_queries):
+    """Makespan/backoff cost of riding over a flaky primary, per rate."""
+    queries = cluster_queries
+    constraints = xmark_constraints()
+    series: list[dict[str, float]] = []
+    reference: list[list[str]] | None = None
+
+    for rate in FAULT_RATES:
+
+        def faults(shard_id: int, replica_id: int, _rate=rate):
+            if replica_id != 0 or _rate == 0.0:
+                return None
+            return FaultPolicy.symmetric(
+                seed=1000 + shard_id, drop=_rate
+            )
+
+        system = SecureXMLSystem.host(
+            xmark_doc,
+            constraints,
+            scheme="opt",
+            master_key=MASTER_KEY,
+            cluster=ClusterConfig(
+                shards=2, replicas=2, groups_per_shard=GROUPS_PER_SHARD
+            ),
+            channel=_channel(),
+            cluster_faults=faults,
+        )
+        try:
+            canonical, _ = _makespan_pass(system, queries)  # warm caches
+            canonical, makespan = _makespan_pass(system, queries)
+            if reference is None:
+                reference = canonical
+            else:
+                assert canonical == reference, (
+                    f"answers diverged at fault rate {rate}"
+                )
+            failovers = sum(
+                rs.stats.failovers for rs in system.coordinator.replica_sets
+            )
+            series.append(
+                {
+                    "drop_rate": rate,
+                    "warm_makespan_s": makespan,
+                    "failovers": failovers,
+                }
+            )
+        finally:
+            system.close()
+
+    baseline = series[0]["warm_makespan_s"]
+    for point in series:
+        point["makespan_overhead"] = point["warm_makespan_s"] / baseline
+
+    write_result(
+        "cluster_failover",
+        format_table(
+            ["drop rate", "t_warm", "failovers", "overhead"],
+            [
+                [f"{p['drop_rate']:.2f}", p["warm_makespan_s"],
+                 p["failovers"], p["makespan_overhead"]]
+                for p in series
+            ],
+            "Failover latency — 2 shards x 2 replicas, seeded drops on "
+            "replica 0",
+        ),
+    )
+    _REPORT["failover_latency"] = {"series": series}
+    _write_report()
+
+    flaky = [p for p in series if p["drop_rate"] > 0]
+    assert any(p["failovers"] > 0 for p in flaky), (
+        "fault injection never triggered a failover"
+    )
+
+
+def test_cluster_exercises_new_machinery(swept_clusters, cluster_queries):
+    """The sweep actually drove the scatter–gather path (not a no-op)."""
+    system = swept_clusters[4]
+    before = counters.snapshot()
+    for query in cluster_queries:
+        system.query(query)
+    delta = counters.delta_since(before)
+    assert delta["cluster_scatters"] > 0, "no query went through a scatter"
+    assert delta["shard_exchanges"] >= 4 * delta["cluster_scatters"], (
+        "scatters did not fan out to every shard"
+    )
+    _REPORT["machinery"] = {
+        "warm_batch_delta": {k: v for k, v in delta.items() if v},
+    }
+    _write_report()

@@ -29,7 +29,13 @@ Commands:
 ``stats``
     Run a query workload and export the observability snapshot —
     counters, latency histograms and the slow-query log — as a table,
-    JSON, or Prometheus text exposition.
+    JSON, or Prometheus text exposition (plus a per-shard breakdown
+    when ``--shards`` is active).
+
+``cluster``
+    Host a workload across a sharded, replicated cluster, run a small
+    workload through the scatter–gather path, and print the placement
+    map plus per-shard statistics.
 """
 
 from __future__ import annotations
@@ -89,6 +95,33 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker count for the parallel query engine "
         "(default: $REPRO_WORKERS, 0 disables)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard the hosting across N servers with scatter–gather "
+        "queries (default: $REPRO_SHARDS, <=1 disables)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=1, metavar="R",
+        help="replicas per shard for failover (needs --shards)",
+    )
+
+
+def _cluster(args: argparse.Namespace):
+    """``--shards``/``--replicas``, shaped for ``host(cluster=)``.
+
+    ``None`` (flag absent) defers to ``REPRO_SHARDS``; an explicit
+    ``--shards`` of 0/1 forces the single-server path.
+    """
+    shards = getattr(args, "shards", None)
+    if shards is None:
+        return None
+    if shards <= 1:
+        return False
+    from repro.cluster import ClusterConfig
+
+    return ClusterConfig(
+        shards=shards, replicas=max(1, getattr(args, "replicas", 1))
+    )
 
 
 def _parallel(args: argparse.Namespace):
@@ -146,8 +179,15 @@ def cmd_host(args: argparse.Namespace) -> int:
     system = SecureXMLSystem.host(
         document, constraints, scheme=args.scheme,
         master_key=_master_key(args), parallel=_parallel(args),
+        cluster=_cluster(args),
     )
     _print_hosting(system)
+    coordinator = system.coordinator
+    if coordinator is not None:
+        from repro.cluster.admin import render_placement
+
+        print()
+        print(render_placement(coordinator.placement))
     if args.save:
         from repro.core.storage import save_system
 
@@ -173,7 +213,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         )
         system = SecureXMLSystem.host(
             document, constraints, scheme=args.scheme,
-            parallel=_parallel(args),
+            parallel=_parallel(args), cluster=_cluster(args),
         )
     answer = system.query(args.xpath)
     print(f"answers ({len(answer)}):")
@@ -228,6 +268,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     system = SecureXMLSystem.host(
         document, constraints, scheme=args.scheme,
         master_key=_master_key(args), parallel=_parallel(args),
+        cluster=_cluster(args),
     )
     answer = system.query(args.xpath)
     trace = system.last_trace
@@ -275,6 +316,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     system = SecureXMLSystem.host(
         document, constraints, scheme=args.scheme,
         master_key=_master_key(args), parallel=_parallel(args),
+        cluster=_cluster(args),
     )
     workload = QueryWorkload(
         document, seed=args.seed, per_class=args.per_class
@@ -309,8 +351,45 @@ def cmd_stats(args: argparse.Namespace) -> int:
         rows,
         "latency histograms",
     ))
+    coordinator = system.coordinator
+    if coordinator is not None:
+        from repro.cluster.admin import render_shard_stats
+
+        print()
+        print("per-shard breakdown:")
+        print(render_shard_stats(coordinator))
     print()
     print(obs.slow_log.render())
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster.admin import render_placement, render_shard_stats
+    from repro.workloads.queries import QueryWorkload
+
+    document, constraints = build_workload(args.workload, args.size, args.seed)
+    cluster = _cluster(args)
+    if cluster is None or cluster is False:
+        from repro.cluster import ClusterConfig
+
+        cluster = ClusterConfig(shards=4)
+    system = SecureXMLSystem.host(
+        document, constraints, scheme=args.scheme,
+        master_key=_master_key(args), parallel=_parallel(args),
+        cluster=cluster,
+    )
+    coordinator = system.coordinator
+    assert coordinator is not None
+    workload = QueryWorkload(
+        document, seed=args.seed, per_class=args.per_class
+    ).by_class()
+    queries = [query for batch in workload.values() for query in batch]
+    system.execute_many(queries)
+    print(render_placement(coordinator.placement))
+    print()
+    print(f"ran {len(queries)} queries through the scatter–gather path:")
+    print(render_shard_stats(coordinator))
+    system.close()
     return 0
 
 
@@ -416,6 +495,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="table", help="export format",
     )
     stats.set_defaults(handler=cmd_stats)
+
+    cluster = subparsers.add_parser(
+        "cluster", help="host across shards, print placement + shard stats"
+    )
+    _add_workload_arguments(cluster)
+    cluster.add_argument(
+        "--per-class", type=int, default=3, dest="per_class",
+        help="queries generated per §7.1 query class",
+    )
+    cluster.set_defaults(handler=cmd_cluster)
 
     attack = subparsers.add_parser(
         "attack", help="frequency attack vs the defences"

@@ -1,0 +1,340 @@
+"""Scatter–gather query execution across a sharded, replicated cluster.
+
+The coordinator is *client-side* machinery: it holds one
+:class:`~repro.cluster.replication.ReplicaSet` per shard (each replica a
+:class:`~repro.cluster.shard.ShardServer` behind its own sealed channel)
+and runs every query as
+
+1. **seal** — the client seals the translated query once; the identical
+   request bytes go to every shard, so each shard's wire cache keys on
+   the same blob a monolithic server would see;
+2. **scatter** — a failover exchange against every shard's replica set
+   (sequentially in-process; the modelled cost model treats the shards
+   as concurrent, see :attr:`QueryTrace.cluster_makespan_s`);
+3. **gather** — the partial responses are merged: fragments deduplicated
+   by their ``root_id`` tag and sorted by it, which reproduces the
+   monolithic fragment order *exactly* (the monolithic server sorts
+   fragment roots by hosted node id), candidate counts taken from the
+   freshest shard, block counts summed.
+
+Because every shard runs the identical structural join and the owned
+fragment roots partition the monolithic root list, the merged response —
+and therefore the final answer — is byte-identical to the single-server
+path at any (N, R), including under faults as long as one replica per
+needed shard survives.
+
+Updates route *through* the coordinator: :meth:`invalidate_entry` bumps
+the per-shard epoch of exactly the shards whose groups the change can
+reach (the affected entry's interval overlap plus every ancestor's
+group), so an untouched shard keeps its warm caches across the update.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any
+
+from repro.core.dsi import IndexEntry
+from repro.core.encryptor import HostedDatabase
+from repro.core.server import ServerResponse
+from repro.netsim.channel import Channel
+from repro.netsim.faults import FaultPolicy, FaultyChannel
+from repro.perf import counters
+
+from repro.cluster.placement import (
+    ClusterConfig,
+    PlacementMap,
+    build_placement,
+)
+from repro.cluster.replication import Replica, ReplicaSet, ShardStats
+from repro.cluster.shard import ShardServer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.client import Client
+    from repro.core.system import QueryTrace, RetryPolicy
+    from repro.crypto.keyring import ClientKeyring
+    from repro.obs import Observability
+
+
+class ShardEpochs:
+    """Update-serial stamps deciding which shard's counts are fresh.
+
+    Every routed update increments the serial and stamps the shards it
+    bumped.  Only a shard stamped with the *current* serial is guaranteed
+    to have flushed its caches after the latest update, so the gather
+    takes candidate counts from the lowest-numbered such shard (all
+    shards compute the identical full join, so any fresh shard's counts
+    equal the monolithic server's).
+    """
+
+    def __init__(self, shard_count: int) -> None:
+        self.serial = 0
+        self.stamps = [0] * shard_count
+
+    def bump(self, shard_ids: list[int]) -> None:
+        self.serial += 1
+        for shard_id in shard_ids:
+            self.stamps[shard_id] = self.serial
+
+    def freshest_shard(self) -> int:
+        for shard_id, stamp in enumerate(self.stamps):
+            if stamp == self.serial:
+                return shard_id
+        return 0  # unreachable: a bump always stamps at least one shard
+
+
+class ClusterCoordinator:
+    """Client-side fan-out over the shard replica sets."""
+
+    def __init__(
+        self,
+        hosted: HostedDatabase,
+        placement: PlacementMap,
+        replica_sets: list[ReplicaSet],
+        obs: "Observability",
+    ) -> None:
+        self.hosted = hosted
+        self.placement = placement
+        self.replica_sets = replica_sets
+        self._obs = obs
+        self.epochs = ShardEpochs(len(replica_sets))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        hosted: HostedDatabase,
+        keyring: "ClientKeyring",
+        config: ClusterConfig,
+        retry_policy: "RetryPolicy",
+        obs: "Observability",
+        pool: Any = None,
+        enable_cache: bool = True,
+        min_shard: int = 64,
+        channel_template: Channel | None = None,
+        faults: "FaultPolicy | Any | None" = None,
+    ) -> "ClusterCoordinator":
+        """Stand up N×R shard servers with their per-replica channels.
+
+        ``channel_template`` supplies the bandwidth/latency every replica
+        channel models (defaults match :class:`Channel`).  ``faults`` is
+        either one :class:`FaultPolicy` applied to every replica channel
+        or a callable ``(shard_id, replica_id) -> FaultPolicy | None``,
+        which is how the chaos tests give a shard one lossy and one clean
+        replica.
+        """
+        placement = build_placement(hosted, config)
+        session_keys = keyring.session_keys()
+        bandwidth = (
+            channel_template.bandwidth_bits_per_second
+            if channel_template is not None
+            else Channel.bandwidth_bits_per_second
+        )
+        latency = (
+            channel_template.latency_seconds
+            if channel_template is not None
+            else Channel.latency_seconds
+        )
+        replica_sets = []
+        for shard_id in range(config.shards):
+            replicas = []
+            for replica_id in range(config.replicas):
+                policy = faults(shard_id, replica_id) if callable(faults) else faults
+                if policy is not None:
+                    channel: Channel = FaultyChannel(
+                        bandwidth_bits_per_second=bandwidth,
+                        latency_seconds=latency,
+                        policy=policy,
+                    )
+                else:
+                    channel = Channel(
+                        bandwidth_bits_per_second=bandwidth,
+                        latency_seconds=latency,
+                    )
+                channel.obs = obs
+                server = ShardServer(
+                    hosted,
+                    placement,
+                    shard_id,
+                    session_keys=session_keys,
+                    pool=pool,
+                    enable_cache=enable_cache,
+                    min_shard=min_shard,
+                    obs=obs,
+                )
+                replicas.append(Replica(replica_id, server, channel))
+            replica_sets.append(
+                ReplicaSet(shard_id, replicas, retry_policy, obs)
+            )
+        return cls(hosted, placement, replica_sets, obs)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def scatter_gather(
+        self,
+        client: "Client",
+        xpath: str,
+        translated: Any,
+        trace: "QueryTrace",
+        rng: random.Random,
+    ) -> ServerResponse:
+        """Run one translated query across the cluster.
+
+        Raises :class:`~repro.cluster.replication.ClusterDegradedError`
+        (a typed :class:`QueryFailedError`) if any shard loses all its
+        replicas — a partial answer is never returned.
+        """
+        tracer = self._obs.tracer
+        counters.add("cluster_scatters")
+        with tracer.span("seal"):
+            request = client.seal_request(translated, cache_key=xpath)
+
+        partials: list[tuple[int, ServerResponse]] = []
+        makespan = 0.0
+        with tracer.span(
+            "scatter", shards=len(self.replica_sets)
+        ) as scatter_span:
+            for replica_set in self.replica_sets:
+                sealed, elapsed = replica_set.exchange(request, trace, rng)
+                with tracer.span("verify", shard=replica_set.shard_id):
+                    partial = client.open_response(sealed)
+                partials.append((replica_set.shard_id, partial))
+                replica_set.stats.fragments_returned += len(partial.fragments)
+                replica_set.stats.blocks_shipped += partial.blocks_shipped
+                makespan = max(makespan, elapsed)
+        scatter_s = scatter_span.finish()
+
+        with tracer.span("gather") as gather_span:
+            response = self._merge(partials)
+        gather_s = gather_span.finish()
+
+        if self._obs.enabled:
+            self._obs.metrics.observe("cluster_scatter_seconds", scatter_s)
+            self._obs.metrics.observe("cluster_gather_seconds", gather_s)
+        trace.cluster_shards = len(self.replica_sets)
+        # Gather (a pure in-memory merge) happens after the slowest shard;
+        # the modelled concurrent makespan is max(shard) + gather.
+        trace.cluster_makespan_s += makespan + gather_s
+        trace.candidate_counts = response.candidate_counts
+        return response
+
+    def naive_exchange(
+        self, client: "Client", xpath: str, trace: "QueryTrace", rng: random.Random
+    ) -> ServerResponse:
+        """The naive ship-everything path against the cluster.
+
+        The naive protocol has no sharded form — it ships the whole
+        document by definition — so the exchange goes only to the shard
+        owning the document root (its replica set still provides
+        failover); the other shards are not contacted.
+        """
+        tracer = self._obs.tracer
+        with tracer.span("seal"):
+            request = client.seal_naive_request(xpath)
+        root_set = next(
+            (rs for rs in self.replica_sets if rs.owns_root()),
+            self.replica_sets[0],
+        )
+        with tracer.span("scatter", naive=True, shards=1):
+            sealed, elapsed = root_set.exchange(
+                request, trace, rng, naive=True
+            )
+            with tracer.span("verify", shard=root_set.shard_id):
+                response = client.open_response(sealed)
+        root_set.stats.fragments_returned += len(response.fragments)
+        root_set.stats.blocks_shipped += response.blocks_shipped
+        trace.cluster_shards = len(self.replica_sets)
+        trace.cluster_makespan_s += elapsed
+        return response
+
+    def _merge(
+        self, partials: list[tuple[int, ServerResponse]]
+    ) -> ServerResponse:
+        """Combine the partial responses into the monolithic one.
+
+        Fragment dedup keys on ``root_id``: ownership is a partition so
+        duplicates cannot normally occur, but a replica served from a
+        stale-but-safe cache may overlap a freshly computed partial after
+        an update; first-seen wins (the fragments are identical by the
+        staleness-safety argument in :mod:`repro.cluster.shard`).
+        """
+        fresh = self.epochs.freshest_shard()
+        by_root: dict[int, Any] = {}
+        blocks = 0
+        candidate_counts: dict[str, int] = {}
+        for shard_id, partial in partials:
+            blocks += partial.blocks_shipped
+            if shard_id == fresh:
+                candidate_counts = dict(partial.candidate_counts)
+            for fragment in partial.fragments:
+                key = (
+                    fragment.root_id
+                    if fragment.root_id is not None
+                    else -1 - len(by_root)  # untagged: keep, never collide
+                )
+                if key not in by_root:
+                    by_root[key] = fragment
+        fragments = [by_root[key] for key in sorted(by_root)]
+        return ServerResponse(
+            fragments=fragments,
+            blocks_shipped=blocks,
+            candidate_counts=candidate_counts,
+        )
+
+    # ------------------------------------------------------------------
+    # Update routing
+    # ------------------------------------------------------------------
+    def invalidate_entry(self, entry: IndexEntry) -> None:
+        """Bump exactly the shards a change at ``entry`` can reach.
+
+        The affected set is the owners of every group overlapping the
+        entry's interval (covers the entry, its whole subtree, and any
+        gap-drawn insert inside it — laminarity keeps descendants inside
+        the parent interval) plus the owner of each ancestor entry's
+        group (a fragment root containing the change is the entry or an
+        ancestor; no other entry can contain it).
+        """
+        affected = self.placement.shards_overlapping(
+            entry.interval.low, entry.interval.high
+        )
+        ancestor = entry.parent
+        while ancestor is not None:
+            affected.add(self.placement.shard_of_low(ancestor.interval.low))
+            ancestor = ancestor.parent
+        ordered = sorted(affected)
+        self.epochs.bump(ordered)
+        for shard_id in ordered:
+            self.replica_sets[shard_id].bump_epoch()
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def flush_caches(self) -> None:
+        for replica_set in self.replica_sets:
+            replica_set.flush_caches()
+
+    def close(self) -> None:
+        """Shut down every distinct worker pool exactly once (idempotent).
+
+        Shard servers typically share the owning system's pool; dedup by
+        identity keeps a shared pool from being closed N×R times and
+        makes a second ``close()`` a no-op on top of the pools' own
+        idempotent close.
+        """
+        seen: set[int] = set()
+        for replica_set in self.replica_sets:
+            for replica in replica_set.replicas:
+                pool = replica.server._pool
+                if pool is not None and id(pool) not in seen:
+                    seen.add(id(pool))
+                    pool.close()
+
+    def shard_stats(self) -> list[ShardStats]:
+        return [replica_set.stats for replica_set in self.replica_sets]
+
+    @property
+    def config(self) -> ClusterConfig:
+        return self.placement.config

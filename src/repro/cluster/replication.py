@@ -1,0 +1,223 @@
+"""Replica sets: R identical servers per shard, with failover.
+
+Replication in this model is *identical state* — every replica of a
+shard is a :class:`~repro.cluster.shard.ShardServer` over the same
+hosted database with the same placement, reached over its own sealed
+channel (optionally a :class:`~repro.netsim.faults.FaultyChannel`).  A
+shard exchange walks the replicas round-robin: a retryable failure
+(integrity violation or dropped transfer — exactly the monolithic
+:data:`_RETRYABLE` set) triggers failover to the next replica with the
+retry policy's modelled backoff, and only when every replica has been
+tried ``max_attempts`` times does the shard surface
+:class:`ClusterDegradedError`.  That error is a
+:class:`~repro.core.system.QueryFailedError`, so the system-level
+invariant is unchanged: a query returns the exact answer or a typed
+error, never a silent wrong one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.integrity import IntegrityError
+from repro.core.system import QueryFailedError
+from repro.netsim.channel import Channel
+from repro.netsim.faults import TransferDropped
+from repro.perf import counters
+from repro.perf.counters import PerfCounters
+
+from repro.cluster.shard import ShardServer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.system import QueryTrace, RetryPolicy
+    from repro.obs import Observability
+
+#: Failures that trigger failover to the next replica (the same set the
+#: monolithic retry loop treats as transient).
+_RETRYABLE = (IntegrityError, TransferDropped)
+
+
+class ClusterDegradedError(QueryFailedError):
+    """Every replica of a needed shard failed; the query cannot complete."""
+
+
+@dataclass
+class Replica:
+    """One server instance of a shard, with its own channel."""
+
+    replica_id: int
+    server: ShardServer
+    channel: Channel
+
+
+@dataclass
+class ShardStats:
+    """Cumulative per-shard accounting the admin view renders."""
+
+    shard_id: int
+    exchanges: int = 0
+    failovers: int = 0
+    degraded: int = 0
+    fragments_returned: int = 0
+    blocks_shipped: int = 0
+    epoch_bumps: int = 0
+    server_s: float = 0.0
+    transfer_s: float = 0.0
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "shard": self.shard_id,
+            "exchanges": self.exchanges,
+            "failovers": self.failovers,
+            "degraded": self.degraded,
+            "fragments": self.fragments_returned,
+            "blocks": self.blocks_shipped,
+            "epoch_bumps": self.epoch_bumps,
+            "t_server": self.server_s,
+            "t_transfer": self.transfer_s,
+        }
+
+
+class ReplicaSet:
+    """The R replicas of one shard plus the failover exchange loop."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        replicas: list[Replica],
+        policy: "RetryPolicy",
+        obs: "Observability",
+    ) -> None:
+        if not replicas:
+            raise ValueError("a replica set needs at least one replica")
+        self.shard_id = shard_id
+        self.replicas = replicas
+        self.policy = policy
+        self._obs = obs
+        self.stats = ShardStats(shard_id)
+        #: This shard's own counter registry (the global one still gets
+        #: every increment; this one isolates the shard's share).
+        self.perf = PerfCounters()
+
+    def exchange(
+        self,
+        request_blob: bytes,
+        trace: "QueryTrace",
+        rng: random.Random,
+        naive: bool = False,
+    ) -> tuple[bytes, float]:
+        """One sealed request/response against this shard, with failover.
+
+        Returns ``(sealed_response, shard_seconds)`` where the seconds
+        are everything this shard cost — successful exchange time plus
+        the modelled backoff of any failed attempts — which is what the
+        coordinator's makespan model maxes over.  Raises
+        :class:`ClusterDegradedError` once every replica has exhausted
+        the policy's attempt budget.
+        """
+        budget = self.policy.max_attempts * len(self.replicas)
+        spent = 0.0
+        last_error: Exception | None = None
+        for attempt in range(budget):
+            replica = self.replicas[attempt % len(self.replicas)]
+            if attempt > 0:
+                delay = self.policy.backoff_for(attempt - 1, rng)
+                trace.backoff_s += delay
+                spent += delay
+                if self._obs.enabled:
+                    # Modelled, not slept — mirror the monolithic retry
+                    # loop so span totals reconcile with ``backoff_s``.
+                    span = self._obs.tracer.begin(
+                        "backoff", shard=self.shard_id, failover=attempt
+                    )
+                    span.set_duration(delay)
+                    self._obs.metrics.observe("retry_backoff_seconds", delay)
+            try:
+                sealed, elapsed = self._attempt(
+                    replica, request_blob, trace, naive
+                )
+                return sealed, spent + elapsed
+            except _RETRYABLE as exc:
+                last_error = exc
+                counters.add("cluster_failovers")
+                self.perf.add("cluster_failovers")
+                self.stats.failovers += 1
+                trace.cluster_failovers += 1
+                if isinstance(exc, IntegrityError):
+                    counters.add("integrity_failures")
+                    trace.integrity_failures += 1
+                else:
+                    trace.drops += 1
+        counters.add("cluster_degraded")
+        self.perf.add("cluster_degraded")
+        self.stats.degraded += 1
+        raise ClusterDegradedError(
+            f"shard {self.shard_id}: all {len(self.replicas)} replicas "
+            f"failed after {budget} attempts: {last_error}"
+        ) from last_error
+
+    def _attempt(
+        self,
+        replica: Replica,
+        request_blob: bytes,
+        trace: "QueryTrace",
+        naive: bool,
+    ) -> tuple[bytes, float]:
+        """One replica round trip: request over, evaluate, response back."""
+        tracer = self._obs.tracer
+        elapsed = 0.0
+        with tracer.span(
+            "shard", shard=self.shard_id, replica=replica.replica_id
+        ):
+            blob, seconds = replica.channel.transfer(
+                "client->server", "query", request_blob
+            )
+            trace.transfer_s += seconds
+            self.stats.transfer_s += seconds
+            elapsed += seconds
+
+            with tracer.span("server", shard=self.shard_id) as span:
+                if naive:
+                    sealed = replica.server.ship_all_wire(blob)
+                else:
+                    sealed = replica.server.answer_wire(blob)
+            seconds = span.finish()
+            trace.server_s += seconds
+            self.stats.server_s += seconds
+            elapsed += seconds
+
+            sealed, seconds = replica.channel.transfer(
+                "server->client", "answer", sealed
+            )
+            trace.transfer_s += seconds
+            self.stats.transfer_s += seconds
+            elapsed += seconds
+        counters.add("shard_exchanges")
+        self.perf.add("shard_exchanges")
+        self.stats.exchanges += 1
+        if self._obs.enabled:
+            self._obs.metrics.observe("shard_exchange_seconds", elapsed)
+        return sealed, elapsed
+
+    # ------------------------------------------------------------------
+    # Maintenance fan-out
+    # ------------------------------------------------------------------
+    def bump_epoch(self) -> None:
+        """Invalidate every replica's caches (a routed update hit us)."""
+        for replica in self.replicas:
+            replica.server.shard_epoch += 1
+        counters.add("shard_epoch_bumps")
+        self.perf.add("shard_epoch_bumps")
+        self.stats.epoch_bumps += 1
+
+    def flush_caches(self) -> None:
+        for replica in self.replicas:
+            replica.server.flush_caches()
+
+    def owns_root(self) -> bool:
+        return self.replicas[0].server.owns_root()
+
+    def total_bytes(self) -> int:
+        return sum(replica.channel.total_bytes() for replica in self.replicas)

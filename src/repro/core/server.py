@@ -49,6 +49,13 @@ class Fragment:
     #: fragment root's parent; empty when the fragment root *is* the root.
     ancestor_path: tuple[tuple[str, int], ...]
     xml: str
+    #: Hosted id of the fragment's root node.  ``None`` on the
+    #: single-server path (the fragment list is already in document
+    #: order); cluster shards tag their fragments with it so the
+    #: coordinator can deduplicate the gathered partial responses and
+    #: restore the global document order exactly (see
+    #: :mod:`repro.cluster.coordinator`).
+    root_id: "int | None" = None
 
     def size_bytes(self) -> int:
         overhead = sum(len(tag) + 8 for tag, _ in self.ancestor_path)

@@ -110,6 +110,15 @@ class QueryTrace:
     drops: int = 0
     fell_back: bool = False
     backoff_s: float = 0.0
+    # --- cluster (scatter–gather execution; zero on the monolithic path) ---
+    cluster_shards: int = 0
+    cluster_failovers: int = 0
+    #: Modelled concurrent completion time of the scatter: max over
+    #: shards of (server + wire + failover backoff) plus the gather.
+    #: ``server_s``/``transfer_s`` stay *sums* over shards so span
+    #: reconciliation (``span.total(...)``) keeps working; this field is
+    #: the cluster's answer to "how long would N parallel shards take".
+    cluster_makespan_s: float = 0.0
     #: Root of the query's span tree (None when tracing is disabled or
     #: the trace came from the answer memo).  Excluded from comparisons
     #: and reprs: two traces of the same exchange stay equal.
@@ -182,6 +191,8 @@ class SecureXMLSystem:
         parallel: ParallelConfig | None = None,
         pool: WorkerPool | None = None,
         observability: "Observability | bool | None" = None,
+        cluster: "object | None" = None,
+        cluster_faults: "object | None" = None,
     ) -> None:
         self.client = client
         self.server = server
@@ -214,6 +225,30 @@ class SecureXMLSystem:
             dict[str, tuple[QueryAnswer, QueryTrace]] | None
         ) = ({} if self.parallel.enabled else None)
         self._memo_epoch = hosted.epoch
+        # Sharded cluster execution (lazy import: the cluster package
+        # imports this module for QueryFailedError).  ``coerce`` returns
+        # None for the exact legacy single-server path; otherwise the
+        # coordinator replaces the monolithic exchange entirely while
+        # ``self.server`` stays available for direct/introspective use.
+        from repro.cluster.placement import ClusterConfig
+
+        self.cluster = ClusterConfig.coerce(cluster)
+        self._coordinator = None
+        if self.cluster is not None:
+            from repro.cluster.coordinator import ClusterCoordinator
+
+            self._coordinator = ClusterCoordinator.build(
+                hosted,
+                keyring,
+                self.cluster,
+                retry_policy=self.retry_policy,
+                obs=self._obs,
+                pool=self._pool,
+                enable_cache=fast_path,
+                min_shard=self.parallel.min_shard,
+                channel_template=channel,
+                faults=cluster_faults,
+            )
 
     # ------------------------------------------------------------------
     # Hosting
@@ -231,6 +266,8 @@ class SecureXMLSystem:
         retry_policy: RetryPolicy | None = None,
         parallel: "ParallelConfig | bool | int | None" = None,
         observability: "Observability | bool | None" = None,
+        cluster: "object | None" = None,
+        cluster_faults: "object | None" = None,
     ) -> "SecureXMLSystem":
         """Encrypt ``document`` under the given scheme and stand up a system.
 
@@ -256,6 +293,18 @@ class SecureXMLSystem:
         builds an enabled context, ``False`` a disabled one (spans are
         still timed — the trace fields depend on them — but nothing is
         linked, logged or exported), and an existing instance is shared.
+
+        ``cluster`` shards the hosted database across N server instances
+        with scatter–gather execution (see
+        :meth:`~repro.cluster.placement.ClusterConfig.coerce`): ``None``
+        reads ``REPRO_SHARDS``/``REPRO_REPLICAS``, ``False``/an int
+        ``<= 1`` force the exact legacy single-server path, an int
+        ``>= 2`` names the shard count, and a ``ClusterConfig`` passes
+        through (including ``shards=1``, which exercises the coordinator
+        over a single shard).  Answers are byte-identical at any (N, R).
+        ``cluster_faults`` injects a :class:`~repro.netsim.faults
+        .FaultPolicy` (or a ``(shard, replica) -> policy`` callable) into
+        the per-replica channels for failover testing.
         """
         from repro.xmldb.serializer import serialize
 
@@ -301,6 +350,8 @@ class SecureXMLSystem:
             parallel=config,
             pool=pool,
             observability=observability,
+            cluster=cluster,
+            cluster_faults=cluster_faults,
         )
 
     def observability(self) -> Observability:
@@ -315,11 +366,25 @@ class SecureXMLSystem:
         """
         self.client.flush_caches()
         self.server.flush_caches()
+        if self._coordinator is not None:
+            self._coordinator.flush_caches()
         if self._answer_memo is not None:
             self._answer_memo.clear()
 
+    @property
+    def coordinator(self):
+        """The cluster coordinator (``None`` on the single-server path)."""
+        return self._coordinator
+
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; restarts on next use)."""
+        """Shut down the worker pool (idempotent; restarts on next use).
+
+        In cluster mode the coordinator's shard servers share the same
+        pool; its close dedups by pool identity, so closing both here is
+        safe in any order, any number of times.
+        """
+        if self._coordinator is not None:
+            self._coordinator.close()
         if self._pool is not None:
             self._pool.close()
 
@@ -414,7 +479,21 @@ class SecureXMLSystem:
                     with tracer.span(
                         "attempt", number=trace.attempts
                     ) as attempt_span:
-                        if self._pool is not None:
+                        if self._coordinator is not None:
+                            # Cluster path: the coordinator handles its
+                            # own replica failover internally; a shard
+                            # with no surviving replica surfaces as a
+                            # ClusterDegradedError (a QueryFailedError,
+                            # not retryable here).
+                            response = self._coordinator.scatter_gather(
+                                self.client,
+                                xpath,
+                                translated,
+                                trace,
+                                self._backoff_rng,
+                            )
+                            jobs = None
+                        elif self._pool is not None:
                             response, jobs = self._secure_exchange_stream(
                                 xpath, translated, trace, prefetch=not deferred
                             )
@@ -493,6 +572,7 @@ class SecureXMLSystem:
             decrypt_client_s=0.0,
             postprocess_client_s=0.0,
             backoff_s=0.0,
+            cluster_makespan_s=0.0,
             candidate_counts=dict(trace.candidate_counts),
             span=None,
         )
@@ -823,6 +903,7 @@ class SecureXMLSystem:
         engine = UpdateEngine(self.hosted, self._keyring)
         entry = engine.resolve_single(self.client.translate(parent_xpath))
         engine.insert_element(entry, tag, value)
+        self._route_update(entry)
         self._refresh_client()
 
     def delete_element(self, xpath: str) -> None:
@@ -831,6 +912,7 @@ class SecureXMLSystem:
 
         engine = UpdateEngine(self.hosted, self._keyring)
         entry = engine.resolve_single(self.client.translate(xpath))
+        self._route_update(entry)
         engine.delete_element(entry)
         self._refresh_client()
 
@@ -841,7 +923,20 @@ class SecureXMLSystem:
         engine = UpdateEngine(self.hosted, self._keyring)
         entry = engine.resolve_single(self.client.translate(xpath))
         engine.update_value(entry, new_value)
+        self._route_update(entry)
         self._refresh_client()
+
+    def _route_update(self, entry) -> None:
+        """Bump only the shards a change at ``entry`` can reach.
+
+        No-op on the single-server path (the monolithic server's epoch
+        check already flushes on ``hosted.bump_epoch()``).  Routed
+        *before* a delete so the entry's ancestor links are still live,
+        and after insert/value updates (the resolved entry — the insert's
+        parent — is untouched by the engine there).
+        """
+        if self._coordinator is not None:
+            self._coordinator.invalidate_entry(entry)
 
     def _refresh_client(self) -> None:
         """Rebuild the client translator after hosted-state mutation."""
@@ -865,6 +960,13 @@ class SecureXMLSystem:
 
     def _finish_naive(self, xpath: str, trace: QueryTrace) -> QueryAnswer:
         trace.naive = True
+        if self._coordinator is not None:
+            # The naive protocol has no sharded form; the coordinator
+            # routes it to the root-owning shard's replica set.
+            response = self._coordinator.naive_exchange(
+                self.client, xpath, trace, self._backoff_rng
+            )
+            return self._finish(xpath, response, trace)
         tracer = self._obs.tracer
         with tracer.span("seal"):
             request = self.client.seal_naive_request(xpath)

@@ -53,6 +53,9 @@ HISTOGRAMS: dict[str, str] = {
     "chunk_decrypt_seconds": "Per-fragment decrypt+strip time on the client.",
     "retry_backoff_seconds": "Modelled backoff before each query retry.",
     "transfer_seconds": "Modelled wire time per channel transfer.",
+    "cluster_scatter_seconds": "Scatter phase: all shard exchanges of one query.",
+    "cluster_gather_seconds": "Gather phase: merge of the partial responses.",
+    "shard_exchange_seconds": "One shard's server + wire time within a scatter.",
 }
 
 _PROM_PREFIX = "repro_"
@@ -201,7 +204,7 @@ _SAMPLE_RE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
     r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
     r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'  # optional labels
-    r" -?[0-9.eE+]+(Inf|NaN)?$"  # value
+    r" -?[0-9.eE+-]+(Inf|NaN)?$"  # value (incl. 7.9e-05-style floats)
 )
 
 

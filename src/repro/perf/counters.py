@@ -87,6 +87,12 @@ class PerfCounters:
     chunks_streamed: int = 0
     parallel_decrypt_tasks: int = 0
     sharded_filter_runs: int = 0
+    # --- cluster (scatter–gather, replica failover, routed updates) ---
+    cluster_scatters: int = 0
+    cluster_failovers: int = 0
+    cluster_degraded: int = 0
+    shard_exchanges: int = 0
+    shard_epoch_bumps: int = 0
 
     def add(self, name: str, amount: int = 1) -> None:
         """Thread-safe increment (the only mutation hot paths may use)."""

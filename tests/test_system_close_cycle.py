@@ -93,3 +93,61 @@ class TestCloseQueryCycles:
         serial.close()
         assert serial.query(QUERY) is not None
         serial.close()
+
+
+class TestClusterCloseCycles:
+    """The same contract through the coordinator's shard pools."""
+
+    @pytest.fixture
+    def cluster_system(self, healthcare_doc, healthcare_scs):
+        from repro.cluster import ClusterConfig
+
+        system = SecureXMLSystem.host(
+            healthcare_doc,
+            healthcare_scs,
+            parallel=2,
+            cluster=ClusterConfig(shards=2, replicas=2),
+        )
+        yield system
+        system.close()
+
+    def test_query_after_close_restarts(self, cluster_system):
+        baseline = cluster_system.query(QUERY).canonical()
+        cluster_system.close()
+        assert cluster_system.query(QUERY).canonical() == baseline
+        cluster_system.close()
+        assert cluster_system.query(QUERY).canonical() == baseline
+
+    def test_close_is_idempotent(self, cluster_system):
+        cluster_system.close()
+        cluster_system.close()
+        assert cluster_system.query(QUERY) is not None
+
+    def test_shard_servers_share_one_pool(self, cluster_system):
+        """Every replica rides the system pool — nothing leaks per shard."""
+        pools = {
+            id(replica.server._pool)
+            for replica_set in cluster_system.coordinator.replica_sets
+            for replica in replica_set.replicas
+        }
+        assert len(pools) == 1
+
+    def test_trace_coherent_across_cycles(self, cluster_system):
+        cluster_system.query(QUERY)
+        assert cluster_system.last_trace.cluster_shards == 2
+        cluster_system.close()
+        cluster_system.query("//pname")
+        trace = cluster_system.last_trace
+        assert trace.query == "//pname"
+        assert trace.cluster_shards == 2
+
+    def test_execute_many_after_close(self, cluster_system):
+        queries = [QUERY, "//pname", QUERY]
+        baseline = [
+            a.canonical() for a in cluster_system.execute_many(queries)
+        ]
+        cluster_system.close()
+        again = [
+            a.canonical() for a in cluster_system.execute_many(queries)
+        ]
+        assert again == baseline
