@@ -104,6 +104,11 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         "--replicas", type=int, default=1, metavar="R",
         help="replicas per shard for failover (needs --shards)",
     )
+    parser.add_argument(
+        "--backend", choices=("object", "columnar"), default=None,
+        help="server join representation (default: $REPRO_BACKEND; "
+        "answers are byte-identical either way)",
+    )
 
 
 def _cluster(args: argparse.Namespace):
@@ -122,6 +127,14 @@ def _cluster(args: argparse.Namespace):
     return ClusterConfig(
         shards=shards, replicas=max(1, getattr(args, "replicas", 1))
     )
+
+
+def _backend(args: argparse.Namespace):
+    """``--backend`` value for ``host(backend=)``/``load_system(backend=)``.
+
+    ``None`` (flag absent) defers to ``REPRO_BACKEND``.
+    """
+    return getattr(args, "backend", None)
 
 
 def _parallel(args: argparse.Namespace):
@@ -179,7 +192,7 @@ def cmd_host(args: argparse.Namespace) -> int:
     system = SecureXMLSystem.host(
         document, constraints, scheme=args.scheme,
         master_key=_master_key(args), parallel=_parallel(args),
-        cluster=_cluster(args),
+        cluster=_cluster(args), backend=_backend(args),
     )
     _print_hosting(system)
     coordinator = system.coordinator
@@ -201,7 +214,9 @@ def cmd_query(args: argparse.Namespace) -> int:
         from repro.core.storage import StorageError, load_system
 
         try:
-            system = load_system(args.load, _master_key(args))
+            system = load_system(
+                args.load, _master_key(args), backend=_backend(args)
+            )
         except StorageError as exc:
             # Corrupt/tampered hosting: one-line diagnostic, nonzero exit —
             # never a traceback, never a query over bad state.
@@ -214,6 +229,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         system = SecureXMLSystem.host(
             document, constraints, scheme=args.scheme,
             parallel=_parallel(args), cluster=_cluster(args),
+            backend=_backend(args),
         )
     answer = system.query(args.xpath)
     print(f"answers ({len(answer)}):")
@@ -268,7 +284,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     system = SecureXMLSystem.host(
         document, constraints, scheme=args.scheme,
         master_key=_master_key(args), parallel=_parallel(args),
-        cluster=_cluster(args),
+        cluster=_cluster(args), backend=_backend(args),
     )
     answer = system.query(args.xpath)
     trace = system.last_trace
@@ -316,7 +332,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     system = SecureXMLSystem.host(
         document, constraints, scheme=args.scheme,
         master_key=_master_key(args), parallel=_parallel(args),
-        cluster=_cluster(args),
+        cluster=_cluster(args), backend=_backend(args),
     )
     workload = QueryWorkload(
         document, seed=args.seed, per_class=args.per_class
@@ -376,7 +392,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     system = SecureXMLSystem.host(
         document, constraints, scheme=args.scheme,
         master_key=_master_key(args), parallel=_parallel(args),
-        cluster=cluster,
+        cluster=cluster, backend=_backend(args),
     )
     coordinator = system.coordinator
     assert coordinator is not None

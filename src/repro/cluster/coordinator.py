@@ -115,6 +115,7 @@ class ClusterCoordinator:
         min_shard: int = 64,
         channel_template: Channel | None = None,
         faults: "FaultPolicy | Any | None" = None,
+        backend: "str | None" = None,
     ) -> "ClusterCoordinator":
         """Stand up N×R shard servers with their per-replica channels.
 
@@ -123,9 +124,11 @@ class ClusterCoordinator:
         either one :class:`FaultPolicy` applied to every replica channel
         or a callable ``(shard_id, replica_id) -> FaultPolicy | None``,
         which is how the chaos tests give a shard one lossy and one clean
-        replica.
+        replica.  ``backend`` is the join representation every shard
+        server evaluates over; placement reads its cutpoints from the
+        columnar planes when it names the columnar backend.
         """
-        placement = build_placement(hosted, config)
+        placement = build_placement(hosted, config, backend=backend)
         session_keys = keyring.session_keys()
         bandwidth = (
             channel_template.bandwidth_bits_per_second
@@ -163,6 +166,7 @@ class ClusterCoordinator:
                     enable_cache=enable_cache,
                     min_shard=min_shard,
                     obs=obs,
+                    backend=backend,
                 )
                 replicas.append(Replica(replica_id, server, channel))
             replica_sets.append(

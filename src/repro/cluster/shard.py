@@ -49,6 +49,7 @@ class ShardServer(Server):
         enable_cache: bool = True,
         min_shard: int = 64,
         obs: "Observability | None" = None,
+        backend: "str | None" = None,
     ) -> None:
         super().__init__(
             hosted,
@@ -57,6 +58,7 @@ class ShardServer(Server):
             pool=pool,
             min_shard=min_shard,
             obs=obs,
+            backend=backend,
         )
         self.placement = placement
         self.shard_id = shard_id

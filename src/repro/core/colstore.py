@@ -1,0 +1,210 @@
+"""Versioned on-disk format for columnar DSI planes (mmap-loadable).
+
+A column store is two files managed by the storage layer's
+stage-then-commit protocol (:mod:`repro.core.storage`):
+
+``columns.json``
+    The column manifest: format version, byte order, entry count, the
+    tag-key dictionary with its slice offsets, and for every column its
+    ``array`` typecode, byte offset and element count inside the blob.
+
+``columns.bin``
+    All plane arrays concatenated, each 8-byte aligned so a
+    ``memoryview`` cast over an ``mmap`` of the file yields the planes
+    with zero copies — a server boots from a hosted save in O(1) index
+    heap, paging plane bytes in on demand.
+
+Byte order is recorded at pack time; a load on a different-endian host
+falls back to an in-heap byteswapped copy instead of corrupt views.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import sys
+from array import array
+from typing import Any
+
+from repro.core.columnar import ColumnarPlanes
+
+#: Format version stamped into ``columns.json``; bumped on any layout
+#: change so old servers fail loud instead of misreading planes.
+COLSTORE_VERSION = 1
+
+#: The two files a column store consists of (also listed in the storage
+#: layer's ``_DATA_FILES`` so they ride the crash-safe commit protocol).
+MANIFEST_FILE = "columns.json"
+PLANES_FILE = "columns.bin"
+
+_ALIGN = 8
+
+#: Column name → (planes attribute, array typecode). ``None`` typecode
+#: marks a raw byte column (stored/loaded without an array cast).
+_COLUMNS: "tuple[tuple[str, str | None], ...]" = (
+    ("lows", "d"),
+    ("highs", "d"),
+    ("key_ids", "q"),
+    ("block_ids", "q"),
+    ("parents", "q"),
+    ("hosted_ids", "q"),
+    ("member_offsets", "q"),
+    ("member_ids", "q"),
+    ("value_flags", "b"),
+    ("value_offsets", "q"),
+    ("value_blob", None),
+    ("tag_entry_ids", "q"),
+    ("tag_lows", "d"),
+    ("block_table_ids", "q"),
+    ("block_table_lows", "d"),
+    ("block_table_highs", "d"),
+)
+
+
+class ColstoreError(ValueError):
+    """A column store that cannot be read (bad version, shape, bytes)."""
+
+
+def _column_bytes(plane: Any) -> bytes:
+    if isinstance(plane, (bytes, bytearray)):
+        return bytes(plane)
+    if isinstance(plane, memoryview):
+        return plane.tobytes()
+    return plane.tobytes()  # array
+
+
+def pack_columns(planes: ColumnarPlanes) -> "tuple[dict, bytes]":
+    """Serialize planes → (manifest dict, binary blob).
+
+    The storage layer JSON-dumps the manifest into ``columns.json`` and
+    writes the blob to ``columns.bin``, both through its staged-commit
+    path so a crash never publishes half a column store.
+    """
+    parts: list[bytes] = []
+    columns: dict[str, dict] = {}
+    offset = 0
+    for name, typecode in _COLUMNS:
+        raw = _column_bytes(getattr(planes, name))
+        pad = (-offset) % _ALIGN
+        if pad:
+            parts.append(b"\x00" * pad)
+            offset += pad
+        itemsize = array(typecode).itemsize if typecode else 1
+        columns[name] = {
+            "typecode": typecode,
+            "offset": offset,
+            "count": len(raw) // itemsize,
+        }
+        parts.append(raw)
+        offset += len(raw)
+    manifest = {
+        "version": COLSTORE_VERSION,
+        "byteorder": sys.byteorder,
+        "entry_count": planes.entry_count,
+        "keys": list(planes.keys),
+        "tag_slices": {
+            key: [start, stop]
+            for key, (start, stop) in planes.tag_slices.items()
+        },
+        "columns": columns,
+    }
+    return manifest, b"".join(parts)
+
+
+def unpack_columns(
+    manifest: dict, buffer: Any, source: Any = None
+) -> ColumnarPlanes:
+    """Rebuild planes from a manifest + buffer (mmap or bytes).
+
+    When the recorded byte order matches this host, every numeric column
+    is a zero-copy ``memoryview`` cast into ``buffer``; otherwise each
+    is byteswapped into an in-heap ``array``.
+    """
+    version = manifest.get("version")
+    if version != COLSTORE_VERSION:
+        raise ColstoreError(
+            f"unsupported column store version {version!r} "
+            f"(this build reads version {COLSTORE_VERSION})"
+        )
+    columns = manifest.get("columns")
+    if not isinstance(columns, dict):
+        raise ColstoreError("column manifest has no 'columns' table")
+    native = manifest.get("byteorder") == sys.byteorder
+    view = memoryview(buffer)
+
+    planes_kw: dict[str, Any] = {}
+    for name, typecode in _COLUMNS:
+        spec = columns.get(name)
+        if spec is None:
+            raise ColstoreError(f"column manifest missing column {name!r}")
+        start = spec["offset"]
+        count = spec["count"]
+        if typecode is None:
+            stop = start + count
+            if stop > len(view):
+                raise ColstoreError(
+                    f"column {name!r} extends past end of {PLANES_FILE}"
+                )
+            planes_kw[name] = view[start:stop]
+            continue
+        itemsize = array(typecode).itemsize
+        stop = start + count * itemsize
+        if stop > len(view):
+            raise ColstoreError(
+                f"column {name!r} extends past end of {PLANES_FILE}"
+            )
+        if native:
+            planes_kw[name] = view[start:stop].cast(typecode)
+        else:
+            swapped = array(typecode)
+            swapped.frombytes(bytes(view[start:stop]))
+            swapped.byteswap()
+            planes_kw[name] = swapped
+
+    try:
+        tag_slices = {
+            key: (int(start), int(stop))
+            for key, (start, stop) in manifest["tag_slices"].items()
+        }
+        keys = tuple(manifest["keys"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ColstoreError(f"column manifest tag table unreadable: {exc}")
+
+    planes = ColumnarPlanes(
+        tag_slices=tag_slices, keys=keys, source=source, **planes_kw
+    )
+    if planes.entry_count != manifest.get("entry_count"):
+        raise ColstoreError(
+            f"column store entry count mismatch: manifest says "
+            f"{manifest.get('entry_count')}, planes hold "
+            f"{planes.entry_count}"
+        )
+    return planes
+
+
+def load_columns(directory: str, use_mmap: bool = True) -> ColumnarPlanes:
+    """Load a column store from ``directory`` (mmap-backed by default).
+
+    The returned planes keep the mapping alive via ``planes.source``;
+    with ``use_mmap=False`` the blob is read fully into heap (used by
+    tests and by hosts where mapping is undesirable).
+    """
+    manifest_path = os.path.join(directory, MANIFEST_FILE)
+    planes_path = os.path.join(directory, PLANES_FILE)
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise ColstoreError(f"{MANIFEST_FILE}: invalid JSON: {exc}")
+    if use_mmap:
+        with open(planes_path, "rb") as handle:
+            if os.fstat(handle.fileno()).st_size == 0:
+                return unpack_columns(manifest, b"")
+            mapped = mmap.mmap(
+                handle.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        return unpack_columns(manifest, mapped, source=mapped)
+    with open(planes_path, "rb") as handle:
+        blob = handle.read()
+    return unpack_columns(manifest, blob)

@@ -69,9 +69,9 @@ def assign_intervals(
     intervals: dict[int, Interval] = {}
     root = document.root
     intervals[root.node_id] = Interval(0.0, 1.0)
-    stack: list[Element] = [root]
+    stack: list[tuple[Element, int]] = [(root, 0)]
     while stack:
-        parent = stack.pop()
+        parent, depth = stack.pop()
         parent_interval = intervals[parent.node_id]
         children = _indexable_children(parent)
         if not children:
@@ -81,7 +81,12 @@ def assign_intervals(
         if spacing < _MIN_WIDTH:
             raise ValueError(
                 "document too deep/wide for float DSI intervals; "
-                f"interval spacing underflowed at node {parent.node_id}"
+                f"interval spacing underflowed at node {parent.node_id} "
+                f"(depth {depth}, fanout {count}: each level divides its "
+                f"interval by 2*fanout+1, and spacing fell below "
+                f"{_MIN_WIDTH:g}); regroup the document into shallower "
+                "bulk-load batches (host subtrees separately and merge "
+                "their column planes) or widen the number type"
             )
         for position, child in enumerate(children, start=1):
             w1 = weights.uniform(0.0, 0.5)
@@ -90,7 +95,7 @@ def assign_intervals(
             high = parent_interval.low + 2 * position * spacing + w2 * spacing
             intervals[child.node_id] = Interval(low, high)
             if isinstance(child, Element):
-                stack.append(child)
+                stack.append((child, depth + 1))
     return intervals
 
 
@@ -154,6 +159,13 @@ class StructuralIndex:
     _lows_lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+    #: lazily built columnar plane encoding (see
+    #: :mod:`repro.core.columnar`); dropped with the other static-data
+    #: caches on :meth:`invalidate_caches` so an epoch bump can never
+    #: leave a stale plane snapshot answering queries
+    _columnar: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
 
     def lookup(self, key: str) -> list[IndexEntry]:
         """Intervals registered under a (translated) tag."""
@@ -193,9 +205,56 @@ class StructuralIndex:
             return lows
 
     def invalidate_caches(self) -> None:
-        """Drop the static-data caches (called on every epoch bump)."""
+        """Drop the static-data caches (called on every epoch bump).
+
+        Covers both the per-tag sorted-low arrays and the columnar plane
+        snapshot (with its per-tag slice-offset memo) — the planes
+        encode the same geometry, so they go stale together.
+        """
         with self._lows_lock:
             self._lows_by_key.clear()
+            self._columnar = None
+
+    # ------------------------------------------------------------------
+    # Columnar plane snapshot (static-data cache, like the low arrays)
+    # ------------------------------------------------------------------
+    def columnar(self):
+        """The columnar plane encoding of this index, built once.
+
+        Rebuilt lazily after :meth:`invalidate_caches`; counters track
+        hit/miss so the epoch-invalidation tests can assert the planes
+        were actually dropped and rebuilt.
+        """
+        from repro.core.columnar import ColumnarPlanes
+        from repro.perf import counters
+
+        planes = self._columnar
+        if planes is not None:
+            counters.add("columnar_cache_hits")
+            return planes
+        with self._lows_lock:
+            planes = self._columnar
+            if planes is not None:
+                counters.add("columnar_cache_hits")
+                return planes
+            counters.add("columnar_cache_misses")
+            planes = ColumnarPlanes.from_index(self)
+            self._columnar = planes
+            return planes
+
+    def columnar_cached(self):
+        """The current plane snapshot, or ``None`` if not built/dropped."""
+        return self._columnar
+
+    def attach_columnar(self, planes) -> None:
+        """Adopt pre-built planes (the storage layer's mmap load path)."""
+        with self._lows_lock:
+            self._columnar = planes
+
+    def drop_columnar(self) -> None:
+        """Drop just the plane snapshot (server cache-flush path)."""
+        with self._lows_lock:
+            self._columnar = None
 
     def block_of(self, entry: IndexEntry) -> Optional[int]:
         """Resolve which encryption block an entry falls inside, if any.

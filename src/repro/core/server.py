@@ -14,6 +14,7 @@ document and re-evaluate the original query exactly.
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -22,6 +23,7 @@ from typing import TYPE_CHECKING, Iterator
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.obs import Observability
 
+from repro.core.columnar import match_pattern_columnar, resolve_backend
 from repro.core.dsi import IndexEntry, StructuralIndex
 from repro.core.encryptor import HostedDatabase
 from repro.core.integrity import TamperedRequestError, seal, unseal
@@ -96,9 +98,13 @@ class Server:
         pool: "WorkerPool | None" = None,
         min_shard: int = 64,
         obs: "Observability | None" = None,
+        backend: "str | None" = None,
     ) -> None:
         self._hosted = hosted
         self._obs = obs
+        #: Join representation: "object" walks the entry forest,
+        #: "columnar" sweeps the flat plane arrays (identical answers).
+        self._backend = resolve_backend(backend)
         self._hosted_root = hosted.hosted_root
         self._structure: StructuralIndex = hosted.structural_index
         self._values: ValueIndex = hosted.value_index
@@ -122,6 +128,15 @@ class Server:
         self._pool = pool
         self._min_shard = min_shard
         self._cache_epoch = hosted.epoch
+        #: hosted node id → node, for the columnar matcher's survivor
+        #: materialization; rebuilt lazily after every epoch bump
+        #: (updates add and remove hosted nodes).
+        self._nodes_by_id: "dict[int, Node] | None" = None
+
+    @property
+    def backend(self) -> str:
+        """The join representation this server evaluates over."""
+        return self._backend
 
     def _check_epoch(self) -> None:
         """Flush the fragment cache when the hosted state has mutated."""
@@ -130,10 +145,19 @@ class Server:
             self._cache_epoch = self._hosted.epoch
 
     def flush_caches(self) -> None:
-        """Drop the fragment and sealed-response caches."""
+        """Drop the fragment and sealed-response caches.
+
+        On the columnar backend this also drops the index's plane
+        snapshot (with its per-tag slice-offset memo) and the node map —
+        a flush must leave *no* derived representation of pre-flush
+        state behind.
+        """
         self._fragment_cache.clear()
         self._wire_cache.clear()
         self._stream_cache.clear()
+        self._nodes_by_id = None
+        if self._backend == "columnar":
+            self._structure.drop_columnar()
 
     # ------------------------------------------------------------------
     # Normal path: §6.2 steps 1-3
@@ -164,6 +188,17 @@ class Server:
 
     def _match(self, query: TranslatedQuery) -> MatchResult:
         """Structural join, sharded across the pool when one is set."""
+        if self._backend == "columnar":
+            with self._span("server.join"):
+                return match_pattern_columnar(
+                    query,
+                    self._columnar_planes(),
+                    self._values,
+                    self._node_map().get,
+                    pool=self._pool,
+                    min_shard=self._min_shard,
+                    obs=self._obs,
+                )
         with self._span("server.join"):
             return match_pattern(
                 query,
@@ -172,6 +207,38 @@ class Server:
                 pool=self._pool,
                 min_shard=self._min_shard,
             )
+
+    def _columnar_planes(self):
+        """The index's plane snapshot, timing cold builds."""
+        planes = self._structure.columnar_cached()
+        if planes is not None:
+            return self._structure.columnar()  # counts the hit
+        start = time.perf_counter()
+        planes = self._structure.columnar()
+        if self._obs is not None and self._obs.enabled:
+            self._obs.metrics.observe(
+                "plane_build_seconds", time.perf_counter() - start
+            )
+        return planes
+
+    def _node_map(self) -> "dict[int, Node]":
+        """hosted node id → node (elements, attributes, block stubs)."""
+        nodes = self._nodes_by_id
+        if nodes is not None:
+            return nodes
+        nodes = {}
+        stack: list[Node] = [self._hosted.hosted_root]
+        while stack:
+            node = stack.pop()
+            nodes[node.node_id] = node
+            if isinstance(node, Element):
+                for attribute in node.attributes:
+                    nodes[attribute.node_id] = attribute
+                for child in node.children:
+                    if isinstance(child, (Element, EncryptedBlockNode)):
+                        stack.append(child)
+        self._nodes_by_id = nodes
+        return nodes
 
     def _make_fragments(self, roots: list[Node]) -> list[Fragment]:
         """Serialize the shipped subtrees, fanned across the pool.

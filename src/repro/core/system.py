@@ -19,6 +19,7 @@ from dataclasses import dataclass, field as dataclass_field, replace
 from typing import Optional
 
 from repro.core.client import Client, QueryAnswer
+from repro.core.columnar import resolve_backend
 from repro.core.constraints import SecurityConstraint
 from repro.core.encryptor import HostedDatabase, host_database
 from repro.core.integrity import IntegrityError, TamperedResponseError
@@ -193,9 +194,15 @@ class SecureXMLSystem:
         observability: "Observability | bool | None" = None,
         cluster: "object | None" = None,
         cluster_faults: "object | None" = None,
+        backend: "str | None" = None,
     ) -> None:
         self.client = client
         self.server = server
+        # Resolve once (None → REPRO_BACKEND → "object") so the server,
+        # every cluster shard and introspection all agree on one name.
+        self.backend = resolve_backend(
+            backend if backend is not None else server.backend
+        )
         self.hosted = hosted
         self.scheme = scheme
         self.channel = channel
@@ -248,6 +255,7 @@ class SecureXMLSystem:
                 min_shard=self.parallel.min_shard,
                 channel_template=channel,
                 faults=cluster_faults,
+                backend=self.backend,
             )
 
     # ------------------------------------------------------------------
@@ -268,6 +276,7 @@ class SecureXMLSystem:
         observability: "Observability | bool | None" = None,
         cluster: "object | None" = None,
         cluster_faults: "object | None" = None,
+        backend: "str | None" = None,
     ) -> "SecureXMLSystem":
         """Encrypt ``document`` under the given scheme and stand up a system.
 
@@ -305,6 +314,13 @@ class SecureXMLSystem:
         ``cluster_faults`` injects a :class:`~repro.netsim.faults
         .FaultPolicy` (or a ``(shard, replica) -> policy`` callable) into
         the per-replica channels for failover testing.
+
+        ``backend`` selects the server's join representation (see
+        :func:`~repro.core.columnar.resolve_backend`): ``None`` reads
+        ``REPRO_BACKEND``, ``"object"`` walks the entry forest,
+        ``"columnar"`` sweeps flat plane arrays.  Answers are
+        byte-identical either way — the backend changes the
+        representation the join runs over, never the result.
         """
         from repro.xmldb.serializer import serialize
 
@@ -339,6 +355,7 @@ class SecureXMLSystem:
                 session_keys=keyring.session_keys(),
                 pool=pool,
                 min_shard=config.min_shard,
+                backend=backend,
             ),
             hosted=hosted,
             scheme=scheme_obj,

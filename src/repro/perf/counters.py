@@ -54,7 +54,9 @@ class PerfCounters:
     * ``interval`` — the structural index's per-tag sorted low-bound
       arrays used by descendant joins;
     * ``answer`` — the parallel engine's completed-exchange memo
-      (epoch-gated final answers, cloned per hit).
+      (epoch-gated final answers, cloned per hit);
+    * ``columnar`` — the structural index's flat plane snapshot (the
+      columnar backend's join representation, dropped on epoch bumps).
     """
 
     key_expansions: int = 0
@@ -93,6 +95,11 @@ class PerfCounters:
     cluster_degraded: int = 0
     shard_exchanges: int = 0
     shard_epoch_bumps: int = 0
+    # --- columnar backend (plane snapshot cache / vectorized sweeps) ---
+    columnar_cache_hits: int = 0
+    columnar_cache_misses: int = 0
+    columnar_plane_builds: int = 0
+    columnar_join_sweeps: int = 0
 
     def add(self, name: str, amount: int = 1) -> None:
         """Thread-safe increment (the only mutation hot paths may use)."""

@@ -95,9 +95,29 @@ class TestCrashSweep:
         directory = str(tmp_path / "clean")
         save_system(v1, directory)
         assert sorted(os.listdir(directory)) == [
-            "client_state.json", "hosted.xml", "manifest.json",
-            "server_meta.json",
+            "client_state.json", "columns.bin", "columns.json",
+            "hosted.xml", "manifest.json", "server_meta.json",
         ]
+
+    def test_column_manifest_has_crash_points(self):
+        """The column store files ride the stage-then-commit protocol."""
+        points = crash_points()
+        for name in ("columns.json", "columns.bin"):
+            assert f"stage:{name}" in points
+            assert f"commit:{name}" in points
+
+    def test_crash_at_column_manifest_stage_keeps_old_generation(
+        self, tmp_path, hosted_pair
+    ):
+        v1, v2, v1_answer, _ = hosted_pair
+        directory = str(tmp_path / "colstage")
+        save_system(v1, directory)
+        set_crash_point("stage:columns.json")
+        with pytest.raises(CrashInjected):
+            save_system(v2, directory)
+        set_crash_point(None)
+        loaded = load_system(directory, MASTER, backend="columnar")
+        assert loaded.query(PROBE).values() == v1_answer
 
 
 class TestCorruptionDetection:
@@ -111,7 +131,14 @@ class TestCorruptionDetection:
         return directory
 
     @pytest.mark.parametrize(
-        "victim", ["hosted.xml", "server_meta.json", "client_state.json"]
+        "victim",
+        [
+            "hosted.xml",
+            "server_meta.json",
+            "client_state.json",
+            "columns.json",
+            "columns.bin",
+        ],
     )
     def test_flipped_byte_names_the_bad_file(self, saved, victim):
         path = os.path.join(saved, victim)
@@ -125,7 +152,14 @@ class TestCorruptionDetection:
         assert victim in str(excinfo.value)
 
     @pytest.mark.parametrize(
-        "victim", ["hosted.xml", "server_meta.json", "client_state.json"]
+        "victim",
+        [
+            "hosted.xml",
+            "server_meta.json",
+            "client_state.json",
+            "columns.json",
+            "columns.bin",
+        ],
     )
     def test_missing_file_names_the_bad_file(self, saved, victim):
         os.remove(os.path.join(saved, victim))
