@@ -403,6 +403,11 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     system.execute_many(queries)
     print(render_placement(coordinator.placement))
     print()
+    hosted = system.hosted
+    print(
+        f"freshness anchor: commit epoch {hosted.epoch}, "
+        f"state root {hosted.state_root().hex()[:16]}…"
+    )
     print(f"ran {len(queries)} queries through the scatter–gather path:")
     print(render_shard_stats(coordinator))
     system.close()

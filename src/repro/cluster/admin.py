@@ -47,9 +47,15 @@ def render_placement(placement: PlacementMap) -> str:
 
 
 def render_shard_stats(coordinator: ClusterCoordinator) -> str:
-    """Per-shard exchange/failover/traffic table for ``repro stats``."""
+    """Per-shard exchange/failover/freshness/traffic table.
+
+    ``demoted``/``resyncs`` count replicas benched for serving stale
+    state and later resynced + re-admitted; ``lag`` is the largest
+    commit-epoch lag a stale replica of that shard was caught at.
+    """
     lines = [
         f"{'shard':>5} {'exchanges':>9} {'failovers':>9} {'degraded':>8} "
+        f"{'demoted':>7} {'resyncs':>7} {'lag':>4} "
         f"{'fragments':>9} {'blocks':>7} {'bumps':>6} {'server_s':>9} "
         f"{'wire_s':>9} {'bytes':>10}"
     ]
@@ -57,7 +63,8 @@ def render_shard_stats(coordinator: ClusterCoordinator) -> str:
         stats = replica_set.stats
         lines.append(
             f"{stats.shard_id:>5} {stats.exchanges:>9} {stats.failovers:>9} "
-            f"{stats.degraded:>8} {stats.fragments_returned:>9} "
+            f"{stats.degraded:>8} {stats.demotions:>7} {stats.resyncs:>7} "
+            f"{stats.max_epoch_lag:>4} {stats.fragments_returned:>9} "
             f"{stats.blocks_shipped:>7} {stats.epoch_bumps:>6} "
             f"{stats.server_s:>9.4f} {stats.transfer_s:>9.4f} "
             f"{replica_set.total_bytes():>10}"

@@ -202,7 +202,13 @@ class ClusterCoordinator:
             "scatter", shards=len(self.replica_sets)
         ) as scatter_span:
             for replica_set in self.replica_sets:
-                sealed, elapsed = replica_set.exchange(request, trace, rng)
+                # check_freshness runs inside the failover loop so a
+                # rollback is pinned on the replica that served it (and
+                # that replica is demoted/resynced); open_response then
+                # re-verifies authoritatively on the returned blob.
+                sealed, elapsed = replica_set.exchange(
+                    request, trace, rng, verify=client.check_freshness
+                )
                 with tracer.span("verify", shard=replica_set.shard_id):
                     partial = client.open_response(sealed)
                 partials.append((replica_set.shard_id, partial))
@@ -244,7 +250,8 @@ class ClusterCoordinator:
         )
         with tracer.span("scatter", naive=True, shards=1):
             sealed, elapsed = root_set.exchange(
-                request, trace, rng, naive=True
+                request, trace, rng, naive=True,
+                verify=client.check_freshness,
             )
             with tracer.span("verify", shard=root_set.shard_id):
                 response = client.open_response(sealed)

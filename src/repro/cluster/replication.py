@@ -21,7 +21,11 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.core.integrity import IntegrityError
+from repro.core.integrity import (
+    FreshnessError,
+    IntegrityError,
+    RollbackDetectedError,
+)
 from repro.core.system import QueryFailedError
 from repro.netsim.channel import Channel
 from repro.netsim.faults import TransferDropped
@@ -65,6 +69,12 @@ class ShardStats:
     epoch_bumps: int = 0
     server_s: float = 0.0
     transfer_s: float = 0.0
+    #: Replicas demoted for serving rolled-back / stale state.
+    demotions: int = 0
+    #: Demoted replicas resynced and re-admitted to the rotation.
+    resyncs: int = 0
+    #: Largest commit-epoch lag ever observed from a stale replica.
+    max_epoch_lag: int = 0
 
     def as_row(self) -> dict[str, object]:
         return {
@@ -72,6 +82,9 @@ class ShardStats:
             "exchanges": self.exchanges,
             "failovers": self.failovers,
             "degraded": self.degraded,
+            "demotions": self.demotions,
+            "resyncs": self.resyncs,
+            "epoch_lag": self.max_epoch_lag,
             "fragments": self.fragments_returned,
             "blocks": self.blocks_shipped,
             "epoch_bumps": self.epoch_bumps,
@@ -100,6 +113,9 @@ class ReplicaSet:
         #: This shard's own counter registry (the global one still gets
         #: every increment; this one isolates the shard's share).
         self.perf = PerfCounters()
+        #: replica_ids currently benched for serving stale state; they
+        #: are skipped by the rotation until resynced and re-admitted.
+        self._demoted: set[int] = set()
 
     def exchange(
         self,
@@ -107,6 +123,7 @@ class ReplicaSet:
         trace: "QueryTrace",
         rng: random.Random,
         naive: bool = False,
+        verify=None,
     ) -> tuple[bytes, float]:
         """One sealed request/response against this shard, with failover.
 
@@ -116,12 +133,21 @@ class ReplicaSet:
         coordinator's makespan model maxes over.  Raises
         :class:`ClusterDegradedError` once every replica has exhausted
         the policy's attempt budget.
+
+        ``verify`` (the coordinator passes the client's
+        ``check_freshness``) runs on the sealed response *inside* the
+        loop, so a replica serving a rolled-back snapshot is identified
+        while we still know which replica answered: it is demoted from
+        the rotation, the exchange fails over to the freshest peer, and
+        once any replica answers fresh the benched ones are resynced
+        (caches flushed, recorded channel state cleared) and re-admitted.
         """
         budget = self.policy.max_attempts * len(self.replicas)
         spent = 0.0
         last_error: Exception | None = None
+        last_fault: str | None = None
         for attempt in range(budget):
-            replica = self.replicas[attempt % len(self.replicas)]
+            replica = self._pick_replica(attempt)
             if attempt > 0:
                 delay = self.policy.backoff_for(attempt - 1, rng)
                 trace.backoff_s += delay
@@ -138,13 +164,24 @@ class ReplicaSet:
                 sealed, elapsed = self._attempt(
                     replica, request_blob, trace, naive
                 )
+                if verify is not None:
+                    verify(sealed)
+                if self._demoted:
+                    self._readmit_demoted()
                 return sealed, spent + elapsed
             except _RETRYABLE as exc:
                 last_error = exc
+                last_fault = getattr(
+                    replica.channel, "last_fault_kind", None
+                )
                 counters.add("cluster_failovers")
                 self.perf.add("cluster_failovers")
                 self.stats.failovers += 1
                 trace.cluster_failovers += 1
+                if isinstance(exc, FreshnessError):
+                    counters.add("freshness_failures")
+                    trace.freshness_failures += 1
+                    self._demote(replica, exc)
                 if isinstance(exc, IntegrityError):
                     counters.add("integrity_failures")
                     trace.integrity_failures += 1
@@ -153,10 +190,62 @@ class ReplicaSet:
         counters.add("cluster_degraded")
         self.perf.add("cluster_degraded")
         self.stats.degraded += 1
+        detail = f"last error {type(last_error).__name__}"
+        if last_fault is not None:
+            detail += f", last fault {last_fault}"
         raise ClusterDegradedError(
             f"shard {self.shard_id}: all {len(self.replicas)} replicas "
-            f"failed after {budget} attempts: {last_error}"
+            f"failed after {budget} attempts ({detail}): {last_error}"
         ) from last_error
+
+    def _pick_replica(self, attempt: int) -> Replica:
+        """Round-robin over non-demoted replicas.
+
+        If *every* replica is benched the full rotation is used anyway —
+        a demoted replica answering is strictly better than giving up
+        without spending the attempt budget.
+        """
+        active = [
+            replica for replica in self.replicas
+            if replica.replica_id not in self._demoted
+        ] or self.replicas
+        return active[attempt % len(active)]
+
+    def _demote(self, replica: Replica, exc: FreshnessError) -> None:
+        """Bench a replica that served rolled-back / stale state."""
+        if replica.replica_id not in self._demoted:
+            self._demoted.add(replica.replica_id)
+            counters.add("replica_demotions")
+            self.perf.add("replica_demotions")
+            self.stats.demotions += 1
+        lag = exc.epoch_lag
+        self.stats.max_epoch_lag = max(self.stats.max_epoch_lag, lag)
+        if isinstance(exc, RollbackDetectedError):
+            counters.add("rollback_detected")
+            self.perf.add("rollback_detected")
+        if self._obs.enabled:
+            self._obs.metrics.observe("shard_epoch_lag", float(lag))
+
+    def _readmit_demoted(self) -> None:
+        """Resync benched replicas off the fresh state and re-admit them.
+
+        Runs after a *confirmed-fresh* exchange: each benched replica's
+        server caches are flushed (so nothing sealed at the old epoch
+        survives) and its channel's recorded snapshot store is cleared
+        (the modelled replica has caught up).  Only then does it rejoin
+        the rotation.
+        """
+        for replica in self.replicas:
+            if replica.replica_id not in self._demoted:
+                continue
+            replica.server.flush_caches()
+            resync = getattr(replica.channel, "resync", None)
+            if resync is not None:
+                resync()
+            counters.add("replica_resyncs")
+            self.perf.add("replica_resyncs")
+            self.stats.resyncs += 1
+        self._demoted.clear()
 
     def _attempt(
         self,

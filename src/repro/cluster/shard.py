@@ -17,6 +17,13 @@ The naive ship-everything protocol has no sharded form — it ships the
 whole document by definition — so only the shard owning the document
 root (group 0) serves it; the other shards return an empty naive
 response and the merge is again byte-for-byte the monolithic one.
+
+Freshness: a shard's *fragment* cache is gated on its own
+``shard_epoch`` (only updates routed to this shard invalidate it), but
+its *sealed* wire/stream caches embed the global commit epoch and
+Merkle root, so the inherited ``Server._check_wire_epoch`` drops just
+those on any global epoch move — untouched shards keep their warm
+fragment caches while never replaying a stale seal.
 """
 
 from __future__ import annotations

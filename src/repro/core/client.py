@@ -22,7 +22,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 
 from repro.core.decoy import remove_decoys
 from repro.core.encryptor import HostedDatabase
-from repro.core.integrity import TamperedResponseError, seal, unseal
+from repro.core.integrity import (
+    TamperedResponseError,
+    seal_fresh,
+    unseal_fresh,
+)
 from repro.core.parallel import WorkerPool
 from repro.core.server import Fragment, ServerResponse
 from repro.core.translate import PlanCache, QueryTranslator, TranslatedQuery
@@ -197,14 +201,40 @@ class Client:
             self._check_epoch()
             blob = self._request_cache.get(cache_key)
             if blob is None:
-                blob = seal(self._request_key, encode_query(translated))
+                blob = self._seal_fresh(
+                    self._request_key, encode_query(translated)
+                )
                 self._request_cache[cache_key] = blob
             return blob
-        return seal(self._request_key, encode_query(translated))
+        return self._seal_fresh(self._request_key, encode_query(translated))
 
     def seal_naive_request(self, xpath: str) -> bytes:
         """Seal the opaque naive-path request (the raw query string)."""
-        return seal(self._request_key, xpath.encode("utf-8"))
+        return self._seal_fresh(self._request_key, xpath.encode("utf-8"))
+
+    def _seal_fresh(self, key: bytes, payload: bytes) -> bytes:
+        """Seal under the current commit epoch and client-held root."""
+        return seal_fresh(
+            key, payload, self._hosted.epoch, self._hosted.state_root()
+        )
+
+    def check_freshness(self, blob: bytes) -> None:
+        """Cheap freshness pre-check on a sealed response blob.
+
+        The cluster coordinator runs this *inside* the replica-failover
+        loop (before the response leaves :meth:`ReplicaSet.exchange`),
+        so a stale replica is identified — and demoted — at the moment
+        it serves a rolled-back snapshot, rather than after the gather.
+        Raises the same typed errors as :meth:`open_response`.
+        """
+        if self._response_cache is not None:
+            self._check_epoch()
+            if blob in self._response_cache:
+                return  # already fully verified under this epoch
+        unseal_fresh(
+            self._response_key, blob,
+            self._hosted.epoch, self._hosted.state_root(),
+        )
 
     def open_response(self, blob: bytes) -> ServerResponse:
         """Verify a sealed wire response and decode it.
@@ -221,7 +251,10 @@ class Client:
             cached = self._response_cache.get(blob)
             if cached is not None:
                 return cached
-        payload = unseal(self._response_key, blob)
+        payload = unseal_fresh(
+            self._response_key, blob,
+            self._hosted.epoch, self._hosted.state_root(),
+        )
         try:
             response = decode_response(payload)
         except MessageDecodeError as exc:
@@ -249,7 +282,10 @@ class Client:
             cached = self._chunk_cache.get(blob)
             if cached is not None:
                 return cached
-        payload = unseal(self._response_key, blob)
+        payload = unseal_fresh(
+            self._response_key, blob,
+            self._hosted.epoch, self._hosted.state_root(),
+        )
         try:
             chunk = decode_chunk(payload)
         except MessageDecodeError as exc:

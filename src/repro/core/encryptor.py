@@ -85,6 +85,42 @@ class HostedDatabase:
     #: path can never alias a node deleted earlier in the epoch.  ``None``
     #: (hostings loaded from pre-mark storage) triggers one lazy scan.
     max_hosted_id: int | None = None
+    #: Lazily-built Merkle tree over ``block_tags`` (the freshness
+    #: anchor).  All tag mutations must go through :meth:`set_block_tag`
+    #: / :meth:`drop_block_tag` so the tree stays incremental; a keyset
+    #: drift (legacy direct mutation) is healed by a rebuild in
+    #: :meth:`state_root`.
+    merkle: "BlockMerkleTree | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    def state_root(self) -> bytes:
+        """Merkle root over the per-block tags: the freshness anchor.
+
+        The client holds this root (it owns ``block_tags``); every wire
+        envelope binds it together with :attr:`epoch`, so a replayed
+        pre-update response can be detected even though its MAC is valid.
+        """
+        from repro.core.integrity import BlockMerkleTree
+
+        if (
+            self.merkle is None
+            or self.merkle.leaf_count != len(self.block_tags)
+        ):
+            self.merkle = BlockMerkleTree(self.block_tags)
+        return self.merkle.root()
+
+    def set_block_tag(self, block_id: int, tag: bytes) -> None:
+        """Install a block tag and incrementally maintain the Merkle tree."""
+        self.block_tags[block_id] = tag
+        if self.merkle is not None:
+            self.merkle.set_leaf(block_id, tag)
+
+    def drop_block_tag(self, block_id: int) -> None:
+        """Remove a block tag (block deleted) and its Merkle leaf."""
+        self.block_tags.pop(block_id, None)
+        if self.merkle is not None:
+            self.merkle.remove_leaf(block_id)
 
     def bump_epoch(self) -> None:
         """Advance the scheme epoch after a hosted-state mutation.

@@ -26,7 +26,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 from repro.core.columnar import match_pattern_columnar, resolve_backend
 from repro.core.dsi import IndexEntry, StructuralIndex
 from repro.core.encryptor import HostedDatabase
-from repro.core.integrity import TamperedRequestError, seal, unseal
+from repro.core.integrity import (
+    TamperedRequestError,
+    seal_fresh,
+    unseal_fresh,
+)
 from repro.core.opess import ValueIndex
 from repro.core.parallel import WorkerPool, iter_chunks
 from repro.core.structural_join import MatchResult, match_pattern
@@ -128,6 +132,13 @@ class Server:
         self._pool = pool
         self._min_shard = min_shard
         self._cache_epoch = hosted.epoch
+        #: Global-epoch gate for the *sealed* caches only.  Sealed blobs
+        #: embed the commit epoch and Merkle root, so any global epoch
+        #: move invalidates them — even on a :class:`ShardServer` whose
+        #: own ``shard_epoch`` (and therefore its fragment cache) was
+        #: untouched by the update.  Tracking it separately keeps
+        #: fragment caches warm on unaffected shards.
+        self._wire_epoch = hosted.epoch
         #: hosted node id → node, for the columnar matcher's survivor
         #: materialization; rebuilt lazily after every epoch bump
         #: (updates add and remove hosted nodes).
@@ -143,6 +154,38 @@ class Server:
         if self._hosted.epoch != self._cache_epoch:
             self.flush_caches()
             self._cache_epoch = self._hosted.epoch
+
+    def _check_wire_epoch(self) -> None:
+        """Drop only the sealed caches when the *global* epoch moved."""
+        if self._hosted.epoch != self._wire_epoch:
+            self._wire_cache.clear()
+            self._stream_cache.clear()
+            self._wire_epoch = self._hosted.epoch
+
+    def _seal_fresh(self, key: bytes, payload: bytes) -> bytes:
+        """Seal under the current commit epoch and Merkle root.
+
+        Client and server read the same hosted state, so an honest
+        exchange always verifies; only a *replayed* (rolled-back) blob —
+        whose header bytes authenticate an earlier epoch — fails the
+        client's freshness check.
+        """
+        return seal_fresh(
+            key, payload, self._hosted.epoch, self._hosted.state_root()
+        )
+
+    def _open_fresh_request(self, key: bytes, request_blob: bytes) -> bytes:
+        """Verify a request's envelope *and* freshness.
+
+        A replayed stale request is rejected just like a tampered one —
+        the attacker cannot probe an old epoch's plans through the
+        server either.
+        """
+        return unseal_fresh(
+            key, request_blob,
+            self._hosted.epoch, self._hosted.state_root(),
+            error=TamperedRequestError,
+        )
 
     def flush_caches(self) -> None:
         """Drop the fragment and sealed-response caches.
@@ -291,19 +334,18 @@ class Server:
         """
         request_key, response_key = self._require_session_keys()
         self._check_epoch()
+        self._check_wire_epoch()
         if self._enable_cache:
             cached = self._wire_cache.get(request_blob)
             if cached is not None:
                 return cached
-        query_bytes = unseal(
-            request_key, request_blob, error=TamperedRequestError
-        )
+        query_bytes = self._open_fresh_request(request_key, request_blob)
         try:
             translated = decode_query(query_bytes)
         except MessageDecodeError as exc:
             raise TamperedRequestError(str(exc)) from exc
         response = self.answer(translated)
-        blob = seal(response_key, encode_response(response))
+        blob = self._seal_fresh(response_key, encode_response(response))
         if self._enable_cache:
             self._wire_cache[request_blob] = blob
         return blob
@@ -327,14 +369,13 @@ class Server:
         """
         request_key, response_key = self._require_session_keys()
         self._check_epoch()
+        self._check_wire_epoch()
         if self._enable_cache:
             cached = self._stream_cache.get(request_blob)
             if cached is not None:
                 yield from cached
                 return
-        query_bytes = unseal(
-            request_key, request_blob, error=TamperedRequestError
-        )
+        query_bytes = self._open_fresh_request(request_key, request_blob)
         try:
             translated = decode_query(query_bytes)
         except MessageDecodeError as exc:
@@ -346,7 +387,7 @@ class Server:
         emitted: list[bytes] = []
 
         def emit(payload: bytes) -> bytes:
-            blob = seal(response_key, payload)
+            blob = self._seal_fresh(response_key, payload)
             emitted.append(blob)
             counters.add("chunks_streamed")
             return blob
@@ -378,8 +419,11 @@ class Server:
         """
         request_key, response_key = self._require_session_keys()
         self._check_epoch()
-        unseal(request_key, request_blob, error=TamperedRequestError)
-        return seal(response_key, encode_response(self.ship_all()))
+        self._check_wire_epoch()
+        self._open_fresh_request(request_key, request_blob)
+        return self._seal_fresh(
+            response_key, encode_response(self.ship_all())
+        )
 
     def _require_session_keys(self) -> tuple[bytes, bytes]:
         if self._session_keys is None:

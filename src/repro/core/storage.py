@@ -229,6 +229,12 @@ def save_system(system: SecureXMLSystem, directory: str) -> None:
             for block_id, tag in sorted(hosted.block_tags.items())
         },
         "decoy_count": hosted.decoy_count,
+        # Freshness anchor: the commit epoch and Merkle root over the
+        # block tags travel with the client state, inside the same
+        # stage-then-commit transaction as the data they attest — crash
+        # recovery can only ever yield a committed (epoch, root) pair.
+        "epoch": hosted.epoch,
+        "state_root": hosted.state_root().hex(),
     }
 
     columns_manifest, columns_blob = pack_columns(
@@ -585,6 +591,7 @@ def load_system(
             decoy_count=client_state["decoy_count"],
             secure=client_state["secure"],
             occurrences=occurrences,
+            epoch=int(client_state.get("epoch", 0)),
         )
         scheme = EncryptionScheme(
             kind=client_state["scheme_kind"],
@@ -595,6 +602,22 @@ def load_system(
         raise StorageError(
             state_path, f"malformed client state ({exc!r})"
         ) from exc
+    # Freshness anchor check: the persisted Merkle root must match the
+    # root recomputed over the loaded block tags.  A mismatch means the
+    # attested state and the stored tags diverged (partial restore,
+    # tag-level tampering below the manifest, or a regressed epoch
+    # pairing) — refuse to boot rather than silently re-anchor.
+    persisted_root = client_state.get("state_root")
+    if persisted_root is not None:
+        recomputed = hosted.state_root().hex()
+        if recomputed != persisted_root:
+            raise StorageError(
+                state_path,
+                "freshness root mismatch: persisted Merkle root "
+                f"{persisted_root[:16]}… does not match the root "
+                f"recomputed from the stored block tags "
+                f"({recomputed[:16]}…)",
+            )
     hosting_trace = HostingTrace(
         scheme_kind=scheme.kind,
         scheme_size_nodes=0,

@@ -22,7 +22,12 @@ from repro.core.client import Client, QueryAnswer
 from repro.core.columnar import resolve_backend
 from repro.core.constraints import SecurityConstraint
 from repro.core.encryptor import HostedDatabase, host_database
-from repro.core.integrity import IntegrityError, TamperedResponseError
+from repro.core.integrity import (
+    FreshnessError,
+    IntegrityError,
+    RollbackDetectedError,
+    TamperedResponseError,
+)
 from repro.core.parallel import ParallelConfig, WorkerPool
 from repro.core.scheme import EncryptionScheme, build_scheme
 from repro.core.server import Server, ServerResponse
@@ -108,6 +113,9 @@ class QueryTrace:
     attempts: int = 0
     retries: int = 0
     integrity_failures: int = 0
+    #: Subset of ``integrity_failures`` that were freshness violations
+    #: (rolled-back or stale state rather than byte tampering).
+    freshness_failures: int = 0
     drops: int = 0
     fell_back: bool = False
     backoff_s: float = 0.0
@@ -529,7 +537,8 @@ class SecureXMLSystem:
             if not policy.naive_fallback:
                 counters.add("queries_failed")
                 raise QueryFailedError(
-                    f"query failed after {trace.attempts} attempts: "
+                    f"query failed after {trace.attempts} attempts "
+                    f"({self._failure_detail(trace, last_error)}): "
                     f"{last_error}"
                 ) from last_error
             trace.fell_back = True
@@ -555,8 +564,7 @@ class SecureXMLSystem:
         counters.add("queries_failed")
         raise QueryFailedError(
             f"query failed after {trace.attempts} attempts "
-            f"({trace.integrity_failures} integrity failures, "
-            f"{trace.drops} drops): {last_error}"
+            f"({self._failure_detail(trace, last_error)}): {last_error}"
         ) from last_error
 
     # ------------------------------------------------------------------
@@ -671,9 +679,34 @@ class SecureXMLSystem:
         if isinstance(exc, IntegrityError):
             counters.add("integrity_failures")
             trace.integrity_failures += 1
+            if isinstance(exc, FreshnessError):
+                counters.add("freshness_failures")
+                trace.freshness_failures += 1
+                if isinstance(exc, RollbackDetectedError):
+                    counters.add("rollback_detected")
         else:
             trace.drops += 1
         return exc
+
+    def _failure_detail(
+        self, trace: QueryTrace, last_error: Exception | None
+    ) -> str:
+        """One-line diagnosis for QueryFailedError messages.
+
+        Names the last error type and — when the channel is a fault
+        injector — the last fault kind it applied, so a chaos-suite
+        failure is attributable from the error text alone.
+        """
+        detail = (
+            f"{trace.integrity_failures} integrity failures "
+            f"({trace.freshness_failures} freshness), {trace.drops} drops"
+        )
+        if last_error is not None:
+            detail += f", last error {type(last_error).__name__}"
+        kind = getattr(self.channel, "last_fault_kind", None)
+        if kind is not None:
+            detail += f", last fault {kind}"
+        return detail
 
     def _secure_exchange(
         self, xpath: str, translated, trace: QueryTrace

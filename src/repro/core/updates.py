@@ -97,8 +97,8 @@ class UpdateEngine:
             placeholder.node_id = new_element.node_id
             hosted_parent.append(placeholder)
             self._hosted.blocks[block_id] = payload
-            self._hosted.block_tags[block_id] = self._keyring.block_tag(
-                block_id, payload
+            self._hosted.set_block_tag(
+                block_id, self._keyring.block_tag(block_id, payload)
             )
             self._hosted.placeholders[block_id] = placeholder
             self._hosted.structural_index.block_table[block_id] = interval
@@ -187,8 +187,8 @@ class UpdateEngine:
         new_element.append(Text(new_value))
         payload = self._encrypt_block(new_element, block_id)
         self._hosted.blocks[block_id] = payload
-        self._hosted.block_tags[block_id] = self._keyring.block_tag(
-            block_id, payload
+        self._hosted.set_block_tag(
+            block_id, self._keyring.block_tag(block_id, payload)
         )
         placeholder = self._hosted.placeholders[block_id]
         placeholder.payload = payload
@@ -303,7 +303,7 @@ class UpdateEngine:
         if placeholder is not None and placeholder.parent is not None:
             placeholder.detach()
         hosted.blocks.pop(block_id, None)
-        hosted.block_tags.pop(block_id, None)
+        hosted.drop_block_tag(block_id)
         representative = hosted.structural_index.block_table.pop(
             block_id, None
         )

@@ -12,6 +12,25 @@ stream in a fixed draw order per transfer, so the same seed, the same
 rates and the same traffic produce the identical fault schedule — and
 therefore identical retry counts in every :class:`~repro.core.system
 .QueryTrace` (asserted in ``tests/test_chaos_end_to_end.py``).
+
+Rollback attacker
+-----------------
+
+Byte-mangling faults are caught by the MAC; the *rollback* fault models
+a strictly stronger adversary: the channel (standing in for a malicious
+or lagging server) records each validly-sealed response and, on a seeded
+``rollback`` decision, substitutes the **earliest recorded** response
+for the same logical request — a perfectly-MACed pre-update snapshot.
+Responses are keyed by the request payload with its freshness header
+stripped (:func:`repro.core.integrity.envelope_payload`), because the
+sealed request bytes change at every commit epoch while the logical
+query underneath does not.  ``FaultPolicy(pin_stale=True)`` is the
+cluster variant: the replica behind this channel *always* serves its
+first-recorded snapshot, modelling a replica frozen at an old epoch
+until :meth:`FaultyChannel.resync` clears its recorded state.
+Cross-request substitution is deliberately not modelled — it would
+decode to a wrong-but-accepted answer, which is outside the freshness
+threat (and already excluded by the per-block tags for block payloads).
 """
 
 from __future__ import annotations
@@ -36,9 +55,13 @@ class FaultRates:
     truncate: float = 0.0
     duplicate: float = 0.0
     delay: float = 0.0
+    #: Replay a recorded earlier-epoch response (valid MAC, stale state).
+    rollback: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("drop", "corrupt", "truncate", "duplicate", "delay"):
+        for name in (
+            "drop", "corrupt", "truncate", "duplicate", "delay", "rollback"
+        ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} rate must be in [0, 1], got {rate}")
@@ -47,7 +70,7 @@ class FaultRates:
     def any(self) -> bool:
         return bool(
             self.drop or self.corrupt or self.truncate
-            or self.duplicate or self.delay
+            or self.duplicate or self.delay or self.rollback
         )
 
 
@@ -69,14 +92,22 @@ class _Decision:
     corrupt_offset: int | None = None
     corrupt_xor: int = 0
     truncate_to: int | None = None
+    rollback: bool = False
 
 
 class FaultPolicy:
     """Seeded schedule of wire faults, with per-direction rates.
 
     Draw order per transfer is fixed (duplicate, delay, drop, corrupt,
-    truncate — plus the conditional detail draws), which is what makes
-    the schedule a pure function of (seed, rates, traffic).
+    truncate, rollback — plus the conditional detail draws), which is
+    what makes the schedule a pure function of (seed, rates, traffic).
+    The rollback draw only consumes randomness when its rate is nonzero,
+    so schedules of pre-rollback policies are byte-for-byte unchanged.
+
+    ``pin_stale=True`` makes the channel *deterministically* stale: it
+    always serves the first response it recorded for each logical
+    request, independent of any random draw — the "one replica pinned at
+    an old epoch" cluster scenario.
     """
 
     def __init__(
@@ -85,11 +116,13 @@ class FaultPolicy:
         client_to_server: FaultRates | None = None,
         server_to_client: FaultRates | None = None,
         delay_seconds: float = 0.05,
+        pin_stale: bool = False,
     ) -> None:
         self.seed = seed
         self.client_to_server = client_to_server or FaultRates()
         self.server_to_client = server_to_client or FaultRates()
         self.delay_seconds = delay_seconds
+        self.pin_stale = pin_stale
         self.schedule: list[FaultEvent] = []
         self._rng = random.Random(seed)
         self._transfer_index = 0
@@ -125,6 +158,9 @@ class FaultPolicy:
         truncate_to: int | None = None
         if rng.random() < rates.truncate and size_bytes > 0:
             truncate_to = rng.randrange(size_bytes)
+        # Guarded draw: zero-rollback policies keep their exact pre-epoch
+        # RNG stream, so historical seeded schedules stay byte-identical.
+        rollback = rates.rollback > 0 and rng.random() < rates.rollback
 
         for kind, hit, detail in (
             ("duplicate", duplicate, 0),
@@ -132,6 +168,7 @@ class FaultPolicy:
             ("drop", drop, 0),
             ("corrupt", corrupt_offset is not None, corrupt_offset or 0),
             ("truncate", truncate_to is not None, truncate_to or 0),
+            ("rollback", rollback, 0),
         ):
             if hit:
                 self.schedule.append(
@@ -144,6 +181,7 @@ class FaultPolicy:
             corrupt_offset=corrupt_offset,
             corrupt_xor=corrupt_xor,
             truncate_to=truncate_to,
+            rollback=rollback,
         )
 
     def schedule_signature(self) -> tuple[tuple[int, str, str, int], ...]:
@@ -162,14 +200,76 @@ class FaultyChannel(Channel):
     sent), and a duplicated payload is billed twice — so bandwidth sweeps
     under faults stay honest.  Semantically a duplicate is idempotent for
     this request/response protocol; only the accounting sees it.
+
+    The channel doubles as the rollback attacker's vantage point (see
+    the module docstring): it remembers the first sealed response per
+    logical request and substitutes it on a ``rollback`` decision (or
+    always, under ``pin_stale``).  Substitution happens *before* the
+    send, because the stale server genuinely transmits the stale bytes —
+    bandwidth accounting must bill what actually crossed the wire.
     """
 
     policy: FaultPolicy = field(default_factory=FaultPolicy)
+    #: Diagnostic breadcrumb: the kind of the last fault this channel
+    #: injected, surfaced in QueryFailedError/ClusterDegradedError text.
+    last_fault_kind: str | None = field(
+        default=None, repr=False, compare=False
+    )
+    #: First-recorded sealed response *sequence* per stripped request
+    #: payload.  A streamed response is several server→client transfers
+    #: for one request, so snapshots are positional: replaying position
+    #: ``i`` of the recorded sequence yields a coherent old-epoch stream.
+    _snapshots: dict[bytes, list[bytes]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _last_request_key: bytes | None = field(
+        default=None, repr=False, compare=False
+    )
+    _response_seq: int = field(default=0, repr=False, compare=False)
+
+    def resync(self) -> None:
+        """Model the stale replica catching up to the committed state.
+
+        Clears the recorded-snapshot store, so the next response per
+        request is re-recorded at the current epoch; called by the
+        replica set when it re-admits a demoted replica.
+        """
+        self._snapshots.clear()
+        self._last_request_key = None
+        self._response_seq = 0
+
+    def _apply_rollback(
+        self, direction: str, payload: bytes, decision: _Decision
+    ) -> bytes:
+        """Record responses; substitute a stale snapshot when attacking."""
+        from repro.core.integrity import envelope_payload
+
+        if direction == "client->server":
+            self._last_request_key = envelope_payload(payload)
+            self._response_seq = 0
+            return payload
+        key = self._last_request_key
+        if key is None:
+            return payload
+        seq = self._response_seq
+        self._response_seq += 1
+        recorded = self._snapshots.setdefault(key, [])
+        if seq >= len(recorded):
+            recorded.append(payload)
+            return payload
+        stale = recorded[seq]
+        attacking = decision.rollback or self.policy.pin_stale
+        if attacking and stale != payload:
+            counters.add("faults_rolled_back")
+            self._annotate_fault("rollback")
+            return stale
+        return payload
 
     def transfer(
         self, direction: str, label: str, payload: bytes
     ) -> tuple[bytes, float]:
         decision = self.policy.decide(direction, len(payload))
+        payload = self._apply_rollback(direction, payload, decision)
         seconds = self.send(direction, label, len(payload))
         if decision.duplicate:
             seconds += self.send(direction, f"{label}+dup", len(payload))
@@ -203,6 +303,7 @@ class FaultyChannel(Channel):
         current attempt), so the slow-query log and rendered trace trees
         show *which* faults a slow or retried query actually hit.
         """
+        self.last_fault_kind = kind
         obs = self.obs
         if obs is None or not obs.enabled:
             return

@@ -22,6 +22,14 @@ at assembly, not silently absorbed (see ``docs/PROTOCOL.md``,
 Codec stability is not a compatibility promise (client and server are
 versioned together); determinism is what matters — the same query object
 encodes to the same bytes, which the request/response wire caches key on.
+
+Layering note: every message this module encodes crosses the wire inside
+the *freshness* envelope (``rxi2``, :mod:`repro.core.integrity`), which
+binds the commit epoch and block-tag Merkle root into the MAC.  The
+codec itself is freshness-agnostic — the same encoded query is sealed to
+different wire bytes at different epochs — which is why the rollback
+attacker keys its recorded responses on the *stripped* request payload
+(:func:`repro.core.integrity.envelope_payload`), not the sealed bytes.
 """
 
 from __future__ import annotations

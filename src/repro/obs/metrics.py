@@ -57,6 +57,10 @@ HISTOGRAMS: dict[str, str] = {
     "cluster_gather_seconds": "Gather phase: merge of the partial responses.",
     "shard_exchange_seconds": "One shard's server + wire time within a scatter.",
     "plane_build_seconds": "Columnar DSI plane build time (entries → flat arrays).",
+    # Unitless lag (commits, not seconds) — recorded when a replica is
+    # demoted for serving stale state, so the distribution shows how far
+    # behind stale replicas were when caught.
+    "shard_epoch_lag": "Commit-epoch lag of a replica demoted for staleness.",
 }
 
 _PROM_PREFIX = "repro_"

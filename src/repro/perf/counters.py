@@ -79,8 +79,17 @@ class PerfCounters:
     faults_truncated: int = 0
     faults_duplicated: int = 0
     faults_delayed: int = 0
+    #: Channel-level rollback attacks: a recorded stale-but-validly-MACed
+    #: response substituted for the fresh one.
+    faults_rolled_back: int = 0
     query_retries: int = 0
     integrity_failures: int = 0
+    #: Subset of integrity_failures rejected by the freshness envelope
+    #: (epoch/Merkle-root verification), not by the MAC itself.
+    freshness_failures: int = 0
+    #: Freshness failures whose authenticated epoch was *older* than the
+    #: client's — a detected rollback to a pre-update snapshot.
+    rollback_detected: int = 0
     naive_fallbacks: int = 0
     queries_failed: int = 0
     # --- parallel engine (streaming chunks / worker pool / answer memo) ---
@@ -95,6 +104,10 @@ class PerfCounters:
     cluster_degraded: int = 0
     shard_exchanges: int = 0
     shard_epoch_bumps: int = 0
+    #: Replicas benched for serving stale state, and benched replicas
+    #: resynced + re-admitted after a confirmed-fresh exchange.
+    replica_demotions: int = 0
+    replica_resyncs: int = 0
     # --- columnar backend (plane snapshot cache / vectorized sweeps) ---
     columnar_cache_hits: int = 0
     columnar_cache_misses: int = 0

@@ -210,6 +210,91 @@ class TestCorruptionDetection:
         assert system.query("//SSN").canonical()
 
 
+class TestFreshnessPersistence:
+    """The client's freshness anchor (epoch + Merkle root) survives
+    crashes atomically with the hosting it describes."""
+
+    @pytest.mark.parametrize("backend", ["object", "columnar"])
+    def test_epoch_and_root_roundtrip(self, tmp_path, hosted_pair, backend):
+        _, v2, _, v2_answer = hosted_pair
+        directory = str(tmp_path / f"anchor-{backend}")
+        save_system(v2, directory)
+        loaded = load_system(directory, MASTER, backend=backend)
+        assert loaded.hosted.epoch == v2.hosted.epoch
+        assert loaded.hosted.epoch > 0  # v2 is post-update
+        assert loaded.hosted.state_root() == v2.hosted.state_root()
+        assert loaded.query(PROBE).values() == v2_answer
+
+    @pytest.mark.parametrize("backend", ["object", "columnar"])
+    def test_crash_sweep_never_mixes_anchor_and_state(
+        self, tmp_path, hosted_pair, backend
+    ):
+        """At every crash point the recovered hosting's (epoch, root)
+        pair is exactly v1's or exactly v2's, and always the pair
+        matching the answer it serves — a torn anchor would turn every
+        later exchange into a false rollback alarm."""
+        v1, v2, v1_answer, v2_answer = hosted_pair
+        anchors = {
+            tuple(v1_answer): (v1.hosted.epoch, v1.hosted.state_root()),
+            tuple(v2_answer): (v2.hosted.epoch, v2.hosted.state_root()),
+        }
+        assert anchors[tuple(v1_answer)] != anchors[tuple(v2_answer)]
+        for point in crash_points():
+            directory = str(
+                tmp_path / f"{backend}-{point.replace(':', '_')}"
+            )
+            save_system(v1, directory)
+            set_crash_point(point)
+            with pytest.raises(CrashInjected):
+                save_system(v2, directory)
+            set_crash_point(None)
+            loaded = load_system(directory, MASTER, backend=backend)
+            answer = loaded.query(PROBE).values()
+            assert tuple(answer) in anchors, point
+            assert (
+                loaded.hosted.epoch, loaded.hosted.state_root()
+            ) == anchors[tuple(answer)], point
+
+    def test_tampered_root_is_rejected_at_load(self, tmp_path, hosted_pair):
+        v1, _, _, _ = hosted_pair
+        directory = str(tmp_path / "tamper")
+        save_system(v1, directory)
+        # Remove the manifest so the whole-file checksum gate cannot fire
+        # first; the root check must stand on its own for legacy layouts.
+        os.remove(os.path.join(directory, "manifest.json"))
+        path = os.path.join(directory, "client_state.json")
+        with open(path) as f:
+            state = json.load(f)
+        assert "state_root" in state and "epoch" in state
+        state["state_root"] = "00" * 32
+        with open(path, "w") as f:
+            json.dump(state, f)
+        with pytest.raises(StorageError) as excinfo:
+            load_system(directory, MASTER)
+        assert "client_state.json" in str(excinfo.value)
+        assert "root mismatch" in str(excinfo.value)
+
+    def test_legacy_state_without_anchor_still_loads(
+        self, tmp_path, hosted_pair
+    ):
+        """Pre-freshness saves (no epoch/state_root keys) load at epoch 0
+        with the root recomputed from the stored tags."""
+        v1, _, v1_answer, _ = hosted_pair
+        directory = str(tmp_path / "legacy")
+        save_system(v1, directory)
+        os.remove(os.path.join(directory, "manifest.json"))
+        path = os.path.join(directory, "client_state.json")
+        with open(path) as f:
+            state = json.load(f)
+        del state["state_root"]
+        del state["epoch"]
+        with open(path, "w") as f:
+            json.dump(state, f)
+        loaded = load_system(directory, MASTER)
+        assert loaded.hosted.epoch == 0
+        assert loaded.query(PROBE).values() == v1_answer
+
+
 class TestCliDiagnostics:
     def test_corrupt_hosting_exits_nonzero_with_one_line(
         self, tmp_path, capsys
