@@ -36,6 +36,12 @@ Commands:
     Host a workload across a sharded, replicated cluster, run a small
     workload through the scatter–gather path, and print the placement
     map plus per-shard statistics.
+
+``serve``
+    Host a workload behind the asyncio socket front door and serve it
+    as a tenant until interrupted (or for ``--serve-for`` seconds),
+    then drain gracefully: finish in-flight requests, flush caches,
+    and persist the hosting when ``--storage`` is given.
 """
 
 from __future__ import annotations
@@ -367,6 +373,20 @@ def cmd_stats(args: argparse.Namespace) -> int:
         rows,
         "latency histograms",
     ))
+    serving_rows: list[list] = []
+    for name, value in sorted(metrics["gauges"].items()):
+        rendered = int(value) if value == int(value) else round(value, 3)
+        serving_rows.append([name, rendered])
+    for family, series in sorted(metrics["labeled"].items()):
+        for key, count in sorted(series.items()):
+            sample = f"{family}{{{key}}}" if key else family
+            serving_rows.append([sample, count])
+    print()
+    print(format_table(
+        ["serving metric", "value"],
+        serving_rows,
+        "serving gauges + labeled counters",
+    ))
     coordinator = system.coordinator
     if coordinator is not None:
         from repro.cluster.admin import render_shard_stats
@@ -411,6 +431,47 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     print(f"ran {len(queries)} queries through the scatter–gather path:")
     print(render_shard_stats(coordinator))
     system.close()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serving import ServingServer
+
+    document, constraints = build_workload(args.workload, args.size, args.seed)
+    system = SecureXMLSystem.host(
+        document, constraints, scheme=args.scheme,
+        master_key=_master_key(args), parallel=_parallel(args),
+        cluster=_cluster(args), backend=_backend(args),
+    )
+    server = ServingServer(
+        host=args.host, port=args.port,
+        max_inflight=args.max_inflight, obs=system.observability(),
+    )
+    server.register_tenant(args.tenant, system, storage_dir=args.storage)
+    host, port = server.start()
+    print(
+        f"serving tenant {args.tenant!r} "
+        f"({args.workload}/{args.scheme}, backend {system.backend}) "
+        f"on {host}:{port}"
+    )
+    print(f"admission control: {args.max_inflight} in-flight requests")
+    if args.storage:
+        print(f"drain persists the hosting to {args.storage}")
+    try:
+        if args.serve_for is not None:
+            time.sleep(args.serve_for)
+        else:
+            print("press Ctrl-C to drain and stop")
+            while True:  # pragma: no cover - interactive loop
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        print("\ninterrupted: draining")
+    finally:
+        server.stop()
+        system.close()
+    print("drained and stopped")
     return 0
 
 
@@ -526,6 +587,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="queries generated per §7.1 query class",
     )
     cluster.set_defaults(handler=cmd_cluster)
+
+    serve = subparsers.add_parser(
+        "serve", help="host a workload behind the socket serving layer"
+    )
+    _add_workload_arguments(serve)
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="listening address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="listening port (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--tenant", default="default", help="tenant id for the hosting"
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64, dest="max_inflight",
+        help="admission-control bound on concurrent in-flight requests",
+    )
+    serve.add_argument(
+        "--storage", default=None, metavar="DIR",
+        help="persist the hosting to DIR on drain",
+    )
+    serve.add_argument(
+        "--serve-for", type=float, default=None, dest="serve_for",
+        metavar="SECONDS",
+        help="serve for a fixed duration then drain (default: until ^C)",
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     attack = subparsers.add_parser(
         "attack", help="frequency attack vs the defences"

@@ -83,6 +83,49 @@ class ShardEpochs:
         return 0  # unreachable: a bump always stamps at least one shard
 
 
+def merge_partials(
+    partials: list[tuple[int, ServerResponse]], fresh_shard: int
+) -> ServerResponse:
+    """Combine per-shard partial responses into the monolithic one.
+
+    Fragment dedup keys on ``root_id``: ownership is a partition so
+    duplicates cannot normally occur, but a replica served from a
+    stale-but-safe cache may overlap a freshly computed partial after
+    an update; first-seen wins (the fragments are identical by the
+    staleness-safety argument in :mod:`repro.cluster.shard`).
+    Candidate counts come from ``fresh_shard`` — the lowest-numbered
+    shard stamped by the latest routed update (every shard computes the
+    identical full join, so any fresh shard's counts equal the
+    monolithic server's).
+
+    Module-level (not a coordinator method) because the serving
+    gateway gathers the same partials server-side, and the
+    byte-identity guarantee rests on both paths merging through the
+    exact same code.
+    """
+    by_root: dict[int, Any] = {}
+    blocks = 0
+    candidate_counts: dict[str, int] = {}
+    for shard_id, partial in partials:
+        blocks += partial.blocks_shipped
+        if shard_id == fresh_shard:
+            candidate_counts = dict(partial.candidate_counts)
+        for fragment in partial.fragments:
+            key = (
+                fragment.root_id
+                if fragment.root_id is not None
+                else -1 - len(by_root)  # untagged: keep, never collide
+            )
+            if key not in by_root:
+                by_root[key] = fragment
+    fragments = [by_root[key] for key in sorted(by_root)]
+    return ServerResponse(
+        fragments=fragments,
+        blocks_shipped=blocks,
+        candidate_counts=candidate_counts,
+    )
+
+
 class ClusterCoordinator:
     """Client-side fan-out over the shard replica sets."""
 
@@ -264,36 +307,8 @@ class ClusterCoordinator:
     def _merge(
         self, partials: list[tuple[int, ServerResponse]]
     ) -> ServerResponse:
-        """Combine the partial responses into the monolithic one.
-
-        Fragment dedup keys on ``root_id``: ownership is a partition so
-        duplicates cannot normally occur, but a replica served from a
-        stale-but-safe cache may overlap a freshly computed partial after
-        an update; first-seen wins (the fragments are identical by the
-        staleness-safety argument in :mod:`repro.cluster.shard`).
-        """
-        fresh = self.epochs.freshest_shard()
-        by_root: dict[int, Any] = {}
-        blocks = 0
-        candidate_counts: dict[str, int] = {}
-        for shard_id, partial in partials:
-            blocks += partial.blocks_shipped
-            if shard_id == fresh:
-                candidate_counts = dict(partial.candidate_counts)
-            for fragment in partial.fragments:
-                key = (
-                    fragment.root_id
-                    if fragment.root_id is not None
-                    else -1 - len(by_root)  # untagged: keep, never collide
-                )
-                if key not in by_root:
-                    by_root[key] = fragment
-        fragments = [by_root[key] for key in sorted(by_root)]
-        return ServerResponse(
-            fragments=fragments,
-            blocks_shipped=blocks,
-            candidate_counts=candidate_counts,
-        )
+        """Gather step: delegate to the shared :func:`merge_partials`."""
+        return merge_partials(partials, self.epochs.freshest_shard())
 
     # ------------------------------------------------------------------
     # Update routing

@@ -213,10 +213,16 @@ class Client:
         return self._seal_fresh(self._request_key, xpath.encode("utf-8"))
 
     def _seal_fresh(self, key: bytes, payload: bytes) -> bytes:
-        """Seal under the current commit epoch and client-held root."""
-        return seal_fresh(
-            key, payload, self._hosted.epoch, self._hosted.state_root()
-        )
+        """Seal under the current commit epoch and client-held root.
+
+        Reads the pair through :meth:`HostedDatabase.anchor` so it
+        cannot tear across a concurrent commit — and so the anchor is
+        recorded in the bounded history, keeping this envelope
+        verifiable even if a concurrent writer supersedes the anchor
+        while the request is in flight.
+        """
+        epoch, root = self._hosted.anchor()
+        return seal_fresh(key, payload, epoch, root)
 
     def check_freshness(self, blob: bytes) -> None:
         """Cheap freshness pre-check on a sealed response blob.

@@ -19,6 +19,7 @@ time when translating queries later.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -93,6 +94,30 @@ class HostedDatabase:
     merkle: "BlockMerkleTree | None" = field(
         default=None, repr=False, compare=False
     )
+    #: Serializes anchor reads (``state_root``) against anchor mutations
+    #: (tag maintenance, epoch bumps).  :class:`BlockMerkleTree` is not
+    #: thread-safe, and the serving layer seals envelopes (reading epoch
+    #: + root) on the event-loop thread while update handlers mutate the
+    #: tree on pool threads — without the lock a seal could observe a
+    #: half-rebuilt tree and emit an anchor that verifies against
+    #: nothing.  Reentrant so locked callers can compose these helpers.
+    anchor_lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
+    #: Recent committed anchors, ``epoch → Merkle root``, recorded at
+    #: every :meth:`anchor` read and :meth:`bump_epoch` commit.  This is
+    #: what lets a verifier authenticate an envelope sealed at an anchor
+    #: that was current *during a request's flight* but has since been
+    #: superseded by a concurrent writer (bounded-staleness acceptance:
+    #: see :meth:`root_at`).  Derived state — never persisted; a fresh
+    #: process simply starts with an empty window.
+    anchor_history: dict[int, bytes] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    #: Bound on :attr:`anchor_history` (commits, not bytes — roots are
+    #: 32 bytes each, so the window costs at most ~16 KiB).
+    ANCHOR_HISTORY_LIMIT = 512
 
     def state_root(self) -> bytes:
         """Merkle root over the per-block tags: the freshness anchor.
@@ -103,24 +128,58 @@ class HostedDatabase:
         """
         from repro.core.integrity import BlockMerkleTree
 
-        if (
-            self.merkle is None
-            or self.merkle.leaf_count != len(self.block_tags)
-        ):
-            self.merkle = BlockMerkleTree(self.block_tags)
-        return self.merkle.root()
+        with self.anchor_lock:
+            if (
+                self.merkle is None
+                or self.merkle.leaf_count != len(self.block_tags)
+            ):
+                self.merkle = BlockMerkleTree(self.block_tags)
+            return self.merkle.root()
+
+    def anchor(self) -> tuple[int, bytes]:
+        """One consistent ``(epoch, root)`` pair for sealing.
+
+        Reading the two attributes separately can tear across a
+        concurrent update (old epoch with new root or vice versa); every
+        seal site should take the pair through here.
+        """
+        with self.anchor_lock:
+            root = self.state_root()
+            self._record_anchor(self.epoch, root)
+            return self.epoch, root
+
+    def _record_anchor(self, epoch: int, root: bytes) -> None:
+        """Remember a committed anchor pair (caller holds the lock)."""
+        self.anchor_history[epoch] = root
+        while len(self.anchor_history) > self.ANCHOR_HISTORY_LIMIT:
+            self.anchor_history.pop(next(iter(self.anchor_history)))
+
+    def root_at(self, epoch: int) -> "bytes | None":
+        """The authentic Merkle root recorded for ``epoch``, if still held.
+
+        Returns the *live* root for the current epoch, a historical root
+        from the bounded :attr:`anchor_history` window for a recent past
+        epoch, and ``None`` for anything older (or never recorded) — the
+        caller must then treat the envelope as unverifiable-stale.
+        """
+        with self.anchor_lock:
+            if epoch == self.epoch:
+                return self.state_root()
+            return self.anchor_history.get(epoch)
 
     def set_block_tag(self, block_id: int, tag: bytes) -> None:
         """Install a block tag and incrementally maintain the Merkle tree."""
-        self.block_tags[block_id] = tag
-        if self.merkle is not None:
-            self.merkle.set_leaf(block_id, tag)
+        with self.anchor_lock:
+            self.block_tags[block_id] = tag
+            if self.merkle is not None:
+                self.merkle.set_leaf(block_id, tag)
 
     def drop_block_tag(self, block_id: int) -> None:
         """Remove a block tag (block deleted) and its Merkle leaf."""
-        self.block_tags.pop(block_id, None)
-        if self.merkle is not None:
-            self.merkle.remove_leaf(block_id)
+        with self.anchor_lock:
+            self.block_tags.pop(block_id, None)
+            if self.merkle is not None:
+                self.merkle.remove_leaf(block_id)
 
     def bump_epoch(self) -> None:
         """Advance the scheme epoch after a hosted-state mutation.
@@ -132,8 +191,13 @@ class HostedDatabase:
         """
         from repro.perf import counters
 
-        self.epoch += 1
-        self.structural_index.invalidate_caches()
+        with self.anchor_lock:
+            self.epoch += 1
+            self.structural_index.invalidate_caches()
+            # Record the new commit's anchor immediately, so envelopes
+            # sealed at this epoch stay verifiable even after further
+            # concurrent commits advance the live anchor.
+            self._record_anchor(self.epoch, self.state_root())
         counters.add("epoch_invalidations")
 
     def allocate_hosted_id(self) -> int:

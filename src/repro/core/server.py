@@ -14,6 +14,7 @@ document and re-evaluate the original query exactly.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -27,6 +28,7 @@ from repro.core.columnar import match_pattern_columnar, resolve_backend
 from repro.core.dsi import IndexEntry, StructuralIndex
 from repro.core.encryptor import HostedDatabase
 from repro.core.integrity import (
+    RollbackDetectedError,
     TamperedRequestError,
     seal_fresh,
     unseal_fresh,
@@ -143,6 +145,26 @@ class Server:
         #: materialization; rebuilt lazily after every epoch bump
         #: (updates add and remove hosted nodes).
         self._nodes_by_id: "dict[int, Node] | None" = None
+        #: Serializes cache reads against epoch flushes.  The serving
+        #: layer dispatches many connections onto a thread pool, so an
+        #: epoch bump must not be able to interleave with a cache lookup
+        #: (e.g. a wire-cache hit sealed at the pre-flush anchor being
+        #: returned after the flush).  Reentrant because the wire entry
+        #: points nest the epoch checks.  Query-vs-update *evaluation*
+        #: is serialized one level up (the tenant session's
+        #: reader–writer lock); this lock only has to make the
+        #: check-epoch + cache-access sequences atomic.
+        self._cache_lock = threading.RLock()
+        #: Bounded request-staleness acceptance (commits).  0 — the
+        #: default everywhere in-process — keeps the strict rule: a
+        #: request must be sealed at the *current* anchor.  The serving
+        #: layer raises it so a request sealed while a concurrent writer
+        #: was committing is still accepted, verified against the
+        #: authentic historical root for its epoch (see
+        #: :meth:`HostedDatabase.root_at`).  Requests older than the
+        #: window are rejected exactly as before — the window bounds how
+        #: far back a replayed request can probe.
+        self.freshness_window = 0
 
     @property
     def backend(self) -> str:
@@ -151,16 +173,18 @@ class Server:
 
     def _check_epoch(self) -> None:
         """Flush the fragment cache when the hosted state has mutated."""
-        if self._hosted.epoch != self._cache_epoch:
-            self.flush_caches()
-            self._cache_epoch = self._hosted.epoch
+        with self._cache_lock:
+            if self._hosted.epoch != self._cache_epoch:
+                self.flush_caches()
+                self._cache_epoch = self._hosted.epoch
 
     def _check_wire_epoch(self) -> None:
         """Drop only the sealed caches when the *global* epoch moved."""
-        if self._hosted.epoch != self._wire_epoch:
-            self._wire_cache.clear()
-            self._stream_cache.clear()
-            self._wire_epoch = self._hosted.epoch
+        with self._cache_lock:
+            if self._hosted.epoch != self._wire_epoch:
+                self._wire_cache.clear()
+                self._stream_cache.clear()
+                self._wire_epoch = self._hosted.epoch
 
     def _seal_fresh(self, key: bytes, payload: bytes) -> bytes:
         """Seal under the current commit epoch and Merkle root.
@@ -168,24 +192,46 @@ class Server:
         Client and server read the same hosted state, so an honest
         exchange always verifies; only a *replayed* (rolled-back) blob —
         whose header bytes authenticate an earlier epoch — fails the
-        client's freshness check.
+        client's freshness check.  Read through
+        :meth:`HostedDatabase.anchor` so the pair cannot tear across a
+        concurrent commit and the anchor lands in the bounded history.
         """
-        return seal_fresh(
-            key, payload, self._hosted.epoch, self._hosted.state_root()
-        )
+        epoch, root = self._hosted.anchor()
+        return seal_fresh(key, payload, epoch, root)
 
     def _open_fresh_request(self, key: bytes, request_blob: bytes) -> bytes:
         """Verify a request's envelope *and* freshness.
 
         A replayed stale request is rejected just like a tampered one —
         the attacker cannot probe an old epoch's plans through the
-        server either.
+        server either.  When :attr:`freshness_window` is raised (the
+        concurrent serving path), a request sealed within the last N
+        commits is re-verified against the authentic historical root for
+        its own epoch instead of being bounced — a client that sealed an
+        instant before a concurrent writer committed should not have to
+        re-seal and re-send.
         """
-        return unseal_fresh(
-            key, request_blob,
-            self._hosted.epoch, self._hosted.state_root(),
-            error=TamperedRequestError,
-        )
+        epoch, root = self._hosted.anchor()
+        try:
+            return unseal_fresh(
+                key, request_blob, epoch, root,
+                error=TamperedRequestError,
+            )
+        except RollbackDetectedError as stale:
+            if (
+                self.freshness_window <= 0
+                or stale.epoch_lag > self.freshness_window
+            ):
+                raise
+            historical = self._hosted.root_at(stale.observed_epoch)
+            if historical is None:
+                raise
+            payload = unseal_fresh(
+                key, request_blob, stale.observed_epoch, historical,
+                error=TamperedRequestError,
+            )
+            counters.add("requests_accepted_in_window")
+            return payload
 
     def flush_caches(self) -> None:
         """Drop the fragment and sealed-response caches.
@@ -195,12 +241,13 @@ class Server:
         a flush must leave *no* derived representation of pre-flush
         state behind.
         """
-        self._fragment_cache.clear()
-        self._wire_cache.clear()
-        self._stream_cache.clear()
-        self._nodes_by_id = None
-        if self._backend == "columnar":
-            self._structure.drop_columnar()
+        with self._cache_lock:
+            self._fragment_cache.clear()
+            self._wire_cache.clear()
+            self._stream_cache.clear()
+            self._nodes_by_id = None
+            if self._backend == "columnar":
+                self._structure.drop_columnar()
 
     # ------------------------------------------------------------------
     # Normal path: §6.2 steps 1-3
@@ -266,22 +313,23 @@ class Server:
 
     def _node_map(self) -> "dict[int, Node]":
         """hosted node id → node (elements, attributes, block stubs)."""
-        nodes = self._nodes_by_id
-        if nodes is not None:
+        with self._cache_lock:
+            nodes = self._nodes_by_id
+            if nodes is not None:
+                return nodes
+            nodes = {}
+            stack: list[Node] = [self._hosted.hosted_root]
+            while stack:
+                node = stack.pop()
+                nodes[node.node_id] = node
+                if isinstance(node, Element):
+                    for attribute in node.attributes:
+                        nodes[attribute.node_id] = attribute
+                    for child in node.children:
+                        if isinstance(child, (Element, EncryptedBlockNode)):
+                            stack.append(child)
+            self._nodes_by_id = nodes
             return nodes
-        nodes = {}
-        stack: list[Node] = [self._hosted.hosted_root]
-        while stack:
-            node = stack.pop()
-            nodes[node.node_id] = node
-            if isinstance(node, Element):
-                for attribute in node.attributes:
-                    nodes[attribute.node_id] = attribute
-                for child in node.children:
-                    if isinstance(child, (Element, EncryptedBlockNode)):
-                        stack.append(child)
-        self._nodes_by_id = nodes
-        return nodes
 
     def _make_fragments(self, roots: list[Node]) -> list[Fragment]:
         """Serialize the shipped subtrees, fanned across the pool.
@@ -333,12 +381,13 @@ class Server:
         the client's retry loop has a single failure surface.
         """
         request_key, response_key = self._require_session_keys()
-        self._check_epoch()
-        self._check_wire_epoch()
-        if self._enable_cache:
-            cached = self._wire_cache.get(request_blob)
-            if cached is not None:
-                return cached
+        with self._cache_lock:
+            self._check_epoch()
+            self._check_wire_epoch()
+            if self._enable_cache:
+                cached = self._wire_cache.get(request_blob)
+                if cached is not None:
+                    return cached
         query_bytes = self._open_fresh_request(request_key, request_blob)
         try:
             translated = decode_query(query_bytes)
@@ -347,7 +396,8 @@ class Server:
         response = self.answer(translated)
         blob = self._seal_fresh(response_key, encode_response(response))
         if self._enable_cache:
-            self._wire_cache[request_blob] = blob
+            with self._cache_lock:
+                self._wire_cache[request_blob] = blob
         return blob
 
     def answer_wire_stream(
@@ -368,13 +418,17 @@ class Server:
         stream cache, mirroring :meth:`answer_wire`'s monolithic cache.
         """
         request_key, response_key = self._require_session_keys()
-        self._check_epoch()
-        self._check_wire_epoch()
-        if self._enable_cache:
-            cached = self._stream_cache.get(request_blob)
-            if cached is not None:
-                yield from cached
-                return
+        with self._cache_lock:
+            self._check_epoch()
+            self._check_wire_epoch()
+            cached = (
+                self._stream_cache.get(request_blob)
+                if self._enable_cache
+                else None
+            )
+        if cached is not None:
+            yield from cached
+            return
         query_bytes = self._open_fresh_request(request_key, request_blob)
         try:
             translated = decode_query(query_bytes)
@@ -405,7 +459,8 @@ class Server:
             fragments = self._make_fragments(list(run))
             yield emit(encode_fragment_chunk(index, fragments))
         if self._enable_cache:
-            self._stream_cache[request_blob] = tuple(emitted)
+            with self._cache_lock:
+                self._stream_cache[request_blob] = tuple(emitted)
 
     def ship_all_wire(self, request_blob: bytes) -> bytes:
         """Naive-path wire exchange: verify the request, ship everything.
@@ -465,7 +520,8 @@ class Server:
 
     def _make_fragment(self, node: Node) -> Fragment:
         if self._enable_cache:
-            cached = self._fragment_cache.get(node.node_id)
+            with self._cache_lock:
+                cached = self._fragment_cache.get(node.node_id)
             if cached is not None:
                 counters.add("fragment_cache_hits")
                 return cached
@@ -476,7 +532,8 @@ class Server:
             path.append((ancestor.tag, ancestor.node_id))
         fragment = Fragment(ancestor_path=tuple(path), xml=serialize(node))
         if self._enable_cache:
-            self._fragment_cache[node.node_id] = fragment
+            with self._cache_lock:
+                self._fragment_cache[node.node_id] = fragment
         return fragment
 
     # ------------------------------------------------------------------

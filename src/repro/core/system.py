@@ -13,6 +13,7 @@ the client.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field as dataclass_field, replace
@@ -223,6 +224,7 @@ class SecureXMLSystem:
         self._fast_path = fast_path
         self.parallel = parallel or ParallelConfig(workers=0)
         self._pool = pool if self.parallel.enabled else None
+        self._close_lock = threading.Lock()
         # One observability context threads through every layer: the
         # system owns it and wires it into its collaborators, so spans
         # opened deep in the client/server/channel nest under the query
@@ -401,17 +403,32 @@ class SecureXMLSystem:
         """The cluster coordinator (``None`` on the single-server path)."""
         return self._coordinator
 
+    @property
+    def keyring(self) -> ClientKeyring:
+        """The owner's keyring (the serving layer derives session MACs)."""
+        return self._keyring
+
+    @property
+    def fast_path(self) -> bool:
+        """Whether client-side caching was enabled at construction."""
+        return self._fast_path
+
     def close(self) -> None:
         """Shut down the worker pool (idempotent; restarts on next use).
 
         In cluster mode the coordinator's shard servers share the same
         pool; its close dedups by pool identity, so closing both here is
-        safe in any order, any number of times.
+        safe in any order, any number of times.  The lock makes
+        *concurrent* closes safe too: a serving drain can race an
+        explicit ``close()`` (or a second drain), and both the
+        coordinator teardown and the pool shutdown must not interleave
+        with themselves.
         """
-        if self._coordinator is not None:
-            self._coordinator.close()
-        if self._pool is not None:
-            self._pool.close()
+        with self._close_lock:
+            if self._coordinator is not None:
+                self._coordinator.close()
+            if self._pool is not None:
+                self._pool.close()
 
     # ------------------------------------------------------------------
     # Querying

@@ -1,7 +1,12 @@
 """Simulated client↔server channel: byte/latency accounting, wire message
 codecs, and deterministic fault injection for chaos testing."""
 
-from repro.netsim.channel import DIRECTIONS, Channel, TransferRecord
+from repro.netsim.channel import (
+    DIRECTIONS,
+    Channel,
+    NullChannel,
+    TransferRecord,
+)
 from repro.netsim.faults import (
     FaultEvent,
     FaultPolicy,
@@ -19,6 +24,7 @@ __all__ = [
     "FaultRates",
     "FaultyChannel",
     "MessageDecodeError",
+    "NullChannel",
     "TransferDropped",
     "TransferRecord",
 ]

@@ -61,6 +61,35 @@ HISTOGRAMS: dict[str, str] = {
     # demoted for serving stale state, so the distribution shows how far
     # behind stale replicas were when caught.
     "shard_epoch_lag": "Commit-epoch lag of a replica demoted for staleness.",
+    "serving_request_seconds": (
+        "Socket request latency: admission to last response frame."
+    ),
+    # Unitless depth (requests, not seconds) — sampled at each admission
+    # decision, so the distribution shows how full the bounded in-flight
+    # queue runs under load.
+    "serving_queue_depth": "In-flight queue depth sampled at admission.",
+}
+
+#: Per-histogram bucket overrides for unitless metrics whose values do
+#: not fit the log-spaced seconds scale.
+HISTOGRAM_BUCKETS: dict[str, tuple[float, ...]] = {
+    "serving_queue_depth": (
+        0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+    ),
+}
+
+#: Gauges every registry carries (instantaneous values, set not
+#: incremented), with their HELP strings.
+GAUGES: dict[str, str] = {
+    "serving_connections": "Currently open serving-layer connections.",
+    "serving_inflight": "Requests currently admitted and executing.",
+}
+
+#: Labeled counter families (name → HELP).  Kept deliberately small —
+#: every label value mints a new time series, so only the per-tenant
+#: request counter (bounded by the tenant registry) lives here.
+LABELED_COUNTERS: dict[str, str] = {
+    "serving_tenant_requests": "Requests handled, by serving tenant.",
 }
 
 _PROM_PREFIX = "repro_"
@@ -113,7 +142,19 @@ class MetricsRegistry:
     def __init__(self, perf: PerfCounters | None = None) -> None:
         self._perf = perf if perf is not None else _global_counters
         self._lock = threading.Lock()
-        self._histograms = {name: Histogram() for name in HISTOGRAMS}
+        self._histograms = self._fresh_histograms()
+        self._gauges: dict[str, float] = {name: 0.0 for name in GAUGES}
+        #: family → {canonical label string → count}.
+        self._labeled: dict[str, dict[str, int]] = {
+            name: {} for name in LABELED_COUNTERS
+        }
+
+    @staticmethod
+    def _fresh_histograms() -> dict[str, Histogram]:
+        return {
+            name: Histogram(HISTOGRAM_BUCKETS.get(name, DEFAULT_BUCKETS))
+            for name in HISTOGRAMS
+        }
 
     # ------------------------------------------------------------------
     # Recording
@@ -129,6 +170,34 @@ class MetricsRegistry:
         with self._lock:
             histogram.observe(value)
 
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set an instantaneous gauge value."""
+        if name not in GAUGES:
+            raise ValueError(
+                f"unknown gauge {name!r}; known: " + ", ".join(sorted(GAUGES))
+            )
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def inc_labeled(self, name: str, amount: int = 1, **labels: str) -> None:
+        """Increment one series of a labeled counter family.
+
+        The label set is canonicalized (sorted keys) so
+        ``inc_labeled("x", a="1", b="2")`` and the reversed keyword order
+        address the same series.
+        """
+        family = self._labeled.get(name)
+        if family is None:
+            raise ValueError(
+                f"unknown labeled counter {name!r}; known: "
+                + ", ".join(sorted(self._labeled))
+            )
+        key = ",".join(
+            f'{label}="{value}"' for label, value in sorted(labels.items())
+        )
+        with self._lock:
+            family[key] = family.get(key, 0) + amount
+
     # ------------------------------------------------------------------
     # Counter passthrough (so callers stop poking the global directly)
     # ------------------------------------------------------------------
@@ -142,17 +211,28 @@ class MetricsRegistry:
         return self._perf.hit_rate(cache)
 
     def snapshot(self) -> dict[str, Any]:
-        """Counters + histograms as one consistent-enough dict."""
+        """Counters + histograms (+ gauges/labeled series) as one dict."""
         with self._lock:
             histograms = {
                 name: histogram.as_dict()
                 for name, histogram in self._histograms.items()
             }
-        return {"counters": self._perf.snapshot(), "histograms": histograms}
+            gauges = dict(self._gauges)
+            labeled = {
+                name: dict(series) for name, series in self._labeled.items()
+            }
+        return {
+            "counters": self._perf.snapshot(),
+            "histograms": histograms,
+            "gauges": gauges,
+            "labeled": labeled,
+        }
 
     def reset_histograms(self) -> None:
         with self._lock:
-            self._histograms = {name: Histogram() for name in HISTOGRAMS}
+            self._histograms = self._fresh_histograms()
+            self._gauges = {name: 0.0 for name in GAUGES}
+            self._labeled = {name: {} for name in LABELED_COUNTERS}
 
     # ------------------------------------------------------------------
     # Exporters
@@ -170,6 +250,20 @@ class MetricsRegistry:
             lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {counter_values[name]}")
         with self._lock:
+            for name in sorted(self._labeled):
+                metric = f"{_PROM_PREFIX}{name}_total"
+                lines.append(f"# HELP {metric} {LABELED_COUNTERS[name]}")
+                lines.append(f"# TYPE {metric} counter")
+                for key in sorted(self._labeled[name]):
+                    sample = f"{metric}{{{key}}}" if key else metric
+                    lines.append(f"{sample} {self._labeled[name][key]}")
+            for name in sorted(self._gauges):
+                metric = f"{_PROM_PREFIX}{name}"
+                lines.append(f"# HELP {metric} {GAUGES[name]}")
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(
+                    f"{metric} {_format_value(self._gauges[name])}"
+                )
             for name in sorted(self._histograms):
                 histogram = self._histograms[name]
                 metric = f"{_PROM_PREFIX}{name}"

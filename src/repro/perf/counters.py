@@ -113,6 +113,20 @@ class PerfCounters:
     columnar_cache_misses: int = 0
     columnar_plane_builds: int = 0
     columnar_join_sweeps: int = 0
+    # --- serving layer (socket front door) ---
+    serving_connections: int = 0
+    serving_requests: int = 0
+    serving_streams: int = 0
+    serving_updates: int = 0
+    #: Requests refused because the bounded in-flight queue was full.
+    backpressure_rejections: int = 0
+    #: Requests sealed at a just-superseded anchor, accepted after
+    #: re-verification against the historical root for their epoch
+    #: (bounded ``Server.freshness_window``, serving layer only).
+    requests_accepted_in_window: int = 0
+    #: Graceful drains completed (in-flight finished, caches flushed,
+    #: storage fsynced).
+    serving_drains: int = 0
 
     def add(self, name: str, amount: int = 1) -> None:
         """Thread-safe increment (the only mutation hot paths may use)."""

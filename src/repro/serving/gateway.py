@@ -1,0 +1,179 @@
+"""Server-side scatter–gather for cluster tenants behind the socket.
+
+In-process, the :class:`~repro.cluster.coordinator.ClusterCoordinator`
+is *client-side* machinery: the owner fans a sealed request out to every
+shard, verifies each partial itself, and merges.  Behind the front door
+the fan-out must happen where the shards live — inside the serving
+process — so a remote client keeps the one-request/one-response wire
+shape a monolithic tenant has.
+
+The gateway keeps every security property the coordinator path has:
+
+* the incoming request blob goes to the shards byte-unchanged, so each
+  shard's wire cache keys on exactly the bytes a direct client would
+  send;
+* each partial is verified (envelope + freshness) through the tenant
+  system's own client before merging, inside the replica set's failover
+  loop, so stale replicas are demoted/resynced exactly as in-process;
+* the merge is the same :func:`~repro.cluster.coordinator.merge_partials`
+  code the coordinator runs, so the merged response — and therefore the
+  remote client's final answer — is byte-identical to the in-process
+  cluster answer;
+* the merged response is re-sealed under the tenant's *current*
+  ``(epoch, Merkle root)`` anchor, so the remote client's freshness
+  check works unchanged.
+
+The gateway holding the response session key is not a weakening of the
+threat model: the gateway runs in the serving process of the *owner's*
+deployment, which already hosts the tenant's full
+:class:`~repro.core.system.SecureXMLSystem` (keys included).  The
+untrusted parties remain the shard servers and the wire.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.cluster.coordinator import ClusterCoordinator, merge_partials
+from repro.core.integrity import seal_fresh
+from repro.core.system import QueryTrace, SecureXMLSystem
+from repro.netsim.message import encode_response, encode_response_chunks
+from repro.perf import counters
+
+
+class ClusterGateway:
+    """Wire-compatible ``answer_wire``/``ship_all_wire`` over a cluster.
+
+    Presents the monolithic :class:`~repro.core.server.Server` wire
+    surface for a tenant whose system runs the sharded coordinator, so
+    the serving dispatch (and the remote client) never needs to know
+    which execution engine backs a tenant.
+    """
+
+    def __init__(self, system: SecureXMLSystem) -> None:
+        coordinator = system.coordinator
+        if coordinator is None:
+            raise ValueError("ClusterGateway requires a cluster system")
+        self._system = system
+        self._coordinator: ClusterCoordinator = coordinator
+        self._hosted = system.hosted
+        self._response_key = system.keyring.session_keys()[1]
+        #: Deterministic backoff RNG for the replica failover loops
+        #: (modelled delays only; seeded so socket runs are replayable).
+        self._rng = random.Random(system.retry_policy.seed)
+        # Epoch-gated sealed caches, mirroring Server's wire/stream
+        # caches: the sealed blobs embed the anchor, so any epoch move
+        # invalidates them wholesale.
+        self._lock = threading.RLock()
+        self._wire_cache: dict[bytes, bytes] = {}
+        self._stream_cache: dict[bytes, tuple[bytes, ...]] = {}
+        self._cache_epoch = self._hosted.epoch
+
+    # ------------------------------------------------------------------
+    # Server wire surface
+    # ------------------------------------------------------------------
+    def answer_wire(self, request_blob: bytes) -> bytes:
+        """Scatter the sealed request, gather, merge, re-seal."""
+        with self._lock:
+            self._check_epoch()
+            cached = self._wire_cache.get(request_blob)
+            if cached is not None:
+                return cached
+        merged = self._scatter(request_blob)
+        epoch, root = self._hosted.anchor()
+        blob = seal_fresh(
+            self._response_key, encode_response(merged), epoch, root
+        )
+        with self._lock:
+            self._check_epoch()
+            if self._hosted.epoch == epoch:
+                self._wire_cache[request_blob] = blob
+        return blob
+
+    def answer_wire_stream(
+        self, request_blob: bytes, chunk_fragments: int = 8
+    ):
+        """The chunked twin of :meth:`answer_wire`.
+
+        The merged response is computed first (a cluster gather cannot
+        stream — the merge needs every partial), then re-encoded as the
+        standard chunk sequence and sealed chunk by chunk, so the remote
+        client's streaming verifier works identically against cluster
+        and monolithic tenants.
+        """
+        key = (request_blob, chunk_fragments)
+        with self._lock:
+            self._check_epoch()
+            cached = self._stream_cache.get(key)
+        if cached is not None:
+            yield from cached
+            return
+        merged = self._scatter(request_blob)
+        epoch, root = self._hosted.anchor()
+        sealed = tuple(
+            seal_fresh(self._response_key, payload, epoch, root)
+            for payload in encode_response_chunks(merged, chunk_fragments)
+        )
+        with self._lock:
+            self._check_epoch()
+            if self._hosted.epoch == epoch:
+                self._stream_cache[key] = sealed
+        yield from sealed
+
+    def ship_all_wire(self, request_blob: bytes) -> bytes:
+        """Naive path: the root-owning shard ships everything.
+
+        The shard's sealed blob passes through unchanged — it is already
+        sealed under the tenant's global anchor, so re-sealing would
+        only re-verify what the remote client verifies anyway.
+        """
+        coordinator = self._coordinator
+        root_set = next(
+            (rs for rs in coordinator.replica_sets if rs.owns_root()),
+            coordinator.replica_sets[0],
+        )
+        trace = QueryTrace(query="<serving-naive>")
+        sealed, _ = root_set.exchange(
+            request_blob,
+            trace,
+            self._rng,
+            naive=True,
+            verify=self._system.client.check_freshness,
+        )
+        return sealed
+
+    def flush_caches(self) -> None:
+        with self._lock:
+            self._wire_cache.clear()
+            self._stream_cache.clear()
+        self._coordinator.flush_caches()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_epoch(self) -> None:
+        if self._hosted.epoch != self._cache_epoch:
+            self._wire_cache.clear()
+            self._stream_cache.clear()
+            self._cache_epoch = self._hosted.epoch
+
+    def _scatter(self, request_blob: bytes):
+        """Failover exchange against every shard; merged response."""
+        coordinator = self._coordinator
+        client = self._system.client
+        counters.add("cluster_scatters")
+        trace = QueryTrace(query="<serving>")
+        partials = []
+        for replica_set in coordinator.replica_sets:
+            sealed, _ = replica_set.exchange(
+                request_blob,
+                trace,
+                self._rng,
+                verify=client.check_freshness,
+            )
+            partial = client.open_response(sealed)
+            partials.append((replica_set.shard_id, partial))
+            replica_set.stats.fragments_returned += len(partial.fragments)
+            replica_set.stats.blocks_shipped += partial.blocks_shipped
+        return merge_partials(partials, coordinator.epochs.freshest_shard())

@@ -1,0 +1,742 @@
+"""The multi-tenant socket front door.
+
+One :class:`ServingServer` owns an ``asyncio`` event loop on a
+background thread and hosts any number of tenants, each a fully
+independent :class:`~repro.core.system.SecureXMLSystem` (own keyring,
+own hosted tree, own epoch history) registered under a tenant id.  The
+wire protocol is the length-prefixed framing of
+:mod:`repro.serving.framing`; payloads are the *existing* sealed wire
+blobs, so the server's security posture is unchanged — the socket layer
+never sees a key it didn't already hold as the tenant's host.
+
+Execution model
+---------------
+
+The event loop does I/O only.  Every admitted request is dispatched to
+a thread pool (`run_in_executor`) where the synchronous pipeline — the
+same :meth:`~repro.core.server.Server.answer_wire` the in-process path
+calls — runs to completion; the loop meanwhile keeps reading frames, so
+many requests per connection are genuinely in flight at once and
+responses are matched by request id, not order.
+
+Concurrency within a tenant is a readers–writer discipline:
+queries/streams/naive ships share a read lock, updates and cache
+flushes take the write lock (writer-priority, so a steady query stream
+cannot starve updates).  Combined with the
+:class:`~repro.core.server.Server` cache lock and the
+:class:`~repro.core.encryptor.HostedDatabase` anchor lock, a reader can
+never observe a half-applied update or a torn ``(epoch, root)`` pair.
+
+Admission control and drain
+---------------------------
+
+A bounded in-flight counter guards the pool: past ``max_inflight`` the
+server answers with a typed :class:`BackpressureRejected` **before** any
+work is done, which the remote system's retry loop absorbs like a
+dropped transfer.  :meth:`ServingServer.drain` is the graceful
+shutdown: stop accepting connections, reject new requests as
+:class:`ServerDraining`, let every in-flight request finish, then flush
+each tenant's caches and (for tenants registered with a storage
+directory) persist through :func:`repro.core.storage.save_system`,
+whose stage-then-commit protocol fsyncs everything durable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager, suppress
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.integrity import (
+    RollbackDetectedError,
+    TamperedRequestError,
+    seal,
+    unseal_fresh,
+)
+from repro.core.system import SecureXMLSystem
+from repro.core.updates import UpdateError
+from repro.obs import Observability
+from repro.perf import counters
+
+from repro.serving.errors import (
+    BackpressureRejected,
+    ProtocolError,
+    ServerDraining,
+    UnknownTenantError,
+    encode_error,
+)
+from repro.serving.framing import (
+    OP_CHUNK,
+    OP_END,
+    OP_ERROR,
+    OP_FLUSH,
+    OP_HELLO,
+    OP_HELLO_OK,
+    OP_NAIVE,
+    OP_OK,
+    OP_QUERY,
+    OP_QUERY_STREAM,
+    OP_STATS,
+    OP_UPDATE,
+    PROTOCOL_VERSION,
+    FrameError,
+    encode_frame,
+    read_frame,
+)
+from repro.serving.gateway import ClusterGateway
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    pass
+
+#: Sentinel the stream pump uses to detect generator exhaustion across
+#: the executor boundary.
+_STREAM_DONE = object()
+
+#: Update operations a sealed OP_UPDATE payload may name, mapped to the
+#: system methods that apply them.
+_UPDATE_OPS = ("insert_element", "delete_element", "update_value")
+
+
+class ReadWriteLock:
+    """Writer-priority readers–writer lock (context-manager API).
+
+    Plain condition-variable construction: readers share, a writer is
+    exclusive, and a *waiting* writer blocks new readers so a steady
+    query stream cannot starve updates.  Acquire and release may happen
+    on different threads (the streaming path enters the read lock on
+    one pool thread and may release on another), which is why this is
+    built on a condition rather than on ``threading.Lock`` ownership.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+
+class TenantSession:
+    """One hosted tenant: its system, session keys, and request surface.
+
+    All methods here are synchronous and run on the serving thread
+    pool.  Cluster tenants are served through a
+    :class:`~repro.serving.gateway.ClusterGateway` so the wire surface
+    (monolithic sealed request → sealed response) is identical for both
+    execution engines.
+    """
+
+    def __init__(
+        self,
+        tenant_id: str,
+        system: SecureXMLSystem,
+        storage_dir: str | None = None,
+        freshness_window: int = 0,
+    ) -> None:
+        self.tenant_id = tenant_id
+        self.system = system
+        self.storage_dir = storage_dir
+        self._request_key, self._response_key = (
+            system.keyring.session_keys()
+        )
+        self._rw = ReadWriteLock()
+        self._gateway = (
+            ClusterGateway(system) if system.coordinator is not None else None
+        )
+        self._counts_lock = threading.Lock()
+        self.op_counts: dict[str, int] = {}
+        # Many concurrent connections race the write path, so a request
+        # sealed an instant before a concurrent commit must stay
+        # acceptable: widen every underlying server's request-freshness
+        # window (0 keeps the strict in-process rule).
+        self.freshness_window = max(0, freshness_window)
+        if self.freshness_window > 0:
+            for server in self._servers():
+                server.freshness_window = self.freshness_window
+
+    def _servers(self):
+        """Every core server this tenant's requests can reach."""
+        servers = []
+        if getattr(self.system, "server", None) is not None:
+            servers.append(self.system.server)
+        coordinator = self.system.coordinator
+        if coordinator is not None:
+            for replica_set in coordinator.replica_sets:
+                for replica in replica_set.replicas:
+                    servers.append(replica.server)
+        return servers
+
+    def _count(self, op_name: str) -> None:
+        with self._counts_lock:
+            self.op_counts[op_name] = self.op_counts.get(op_name, 0) + 1
+
+    def _target(self):
+        return self._gateway if self._gateway is not None else self.system.server
+
+    # ------------------------------------------------------------------
+    # Request surface (sync, executor-side)
+    # ------------------------------------------------------------------
+    def hello(self) -> dict[str, object]:
+        with self._rw.read():
+            return {
+                "tenant": self.tenant_id,
+                "protocol": PROTOCOL_VERSION,
+                "backend": self.system.backend,
+                "epoch": self.system.hosted.epoch,
+                "cluster": self._gateway is not None,
+            }
+
+    def query(self, blob: bytes) -> bytes:
+        self._count("query")
+        with self._rw.read():
+            return self._target().answer_wire(blob)
+
+    def query_stream(
+        self, blob: bytes, chunk_fragments: int
+    ) -> Iterator[bytes]:
+        self._count("stream")
+        with self._rw.read():
+            yield from self._target().answer_wire_stream(
+                blob, chunk_fragments=chunk_fragments
+            )
+
+    def naive(self, blob: bytes) -> bytes:
+        self._count("naive")
+        with self._rw.read():
+            return self._target().ship_all_wire(blob)
+
+    def update(self, blob: bytes) -> bytes:
+        """Apply one sealed update operation; returns a sealed ack.
+
+        The request must be sealed fresh at a *recent* authentic anchor:
+        the current one, or — within the tenant's bounded freshness
+        window — one superseded by a concurrent writer while this
+        command was waiting on the write lock (without the window, every
+        commit would invalidate every queued update's seal, a thundering
+        herd that livelocks sustained write loads).  A command older
+        than the window gets the typed
+        :class:`~repro.core.integrity.RollbackDetectedError` back and
+        re-seals against the new epoch (bounded retries client-side).
+        The ack is sealed with the plain envelope (not the freshness
+        one): by the time the client verifies it, a *further* update may
+        legitimately have moved the anchor again, and the ack's job is
+        authenticity, not freshness.
+        """
+        counters.add("serving_updates")
+        self._count("update")
+        with self._rw.write():
+            payload = self._open_fresh_command(blob)
+            try:
+                op = json.loads(payload.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise TamperedRequestError(
+                    "update payload is not valid JSON"
+                ) from exc
+            applied = self._apply_update(op)
+            ack = json.dumps(
+                {"applied": applied, "epoch": self.system.hosted.epoch},
+                sort_keys=True,
+            ).encode("utf-8")
+            return seal(self._response_key, ack)
+
+    def _open_fresh_command(self, blob: bytes) -> bytes:
+        """Unseal a freshness-sealed command, within the staleness window.
+
+        Mirrors ``Server._open_fresh_request``: strict verification at
+        the current anchor first; a seal at a just-superseded epoch is
+        re-verified against the authentic historical root for that
+        epoch, provided the lag fits the configured window.
+        """
+        hosted = self.system.hosted
+        epoch, root = hosted.anchor()
+        try:
+            return unseal_fresh(
+                self._request_key, blob, epoch, root,
+                error=TamperedRequestError,
+            )
+        except RollbackDetectedError as stale:
+            if (
+                self.freshness_window <= 0
+                or stale.epoch_lag > self.freshness_window
+            ):
+                raise
+            historical = hosted.root_at(stale.observed_epoch)
+            if historical is None:
+                raise
+            payload = unseal_fresh(
+                self._request_key, blob, stale.observed_epoch, historical,
+                error=TamperedRequestError,
+            )
+            counters.add("requests_accepted_in_window")
+            return payload
+
+    def _apply_update(self, op: dict) -> str:
+        name = op.get("op")
+        if name not in _UPDATE_OPS:
+            raise UpdateError(f"unknown update operation {name!r}")
+        if name == "insert_element":
+            self.system.insert_element(
+                op["parent_xpath"], op["tag"], op["value"]
+            )
+        elif name == "delete_element":
+            self.system.delete_element(op["xpath"])
+        else:
+            self.system.update_value(op["xpath"], op["new_value"])
+        return name
+
+    def flush(self) -> bytes:
+        self._count("flush")
+        with self._rw.write():
+            self.system.flush_caches()
+            if self._gateway is not None:
+                self._gateway.flush_caches()
+        return b"{}"
+
+    def stats(self) -> bytes:
+        self._count("stats")
+        with self._counts_lock:
+            ops = dict(self.op_counts)
+        return json.dumps(
+            {
+                "tenant": self.tenant_id,
+                "epoch": self.system.hosted.epoch,
+                "ops": ops,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Flush caches and persist durable state (under the write lock)."""
+        with self._rw.write():
+            self.system.flush_caches()
+            if self._gateway is not None:
+                self._gateway.flush_caches()
+            if self.storage_dir is not None:
+                from repro.core.storage import save_system
+
+                save_system(self.system, self.storage_dir)
+
+
+class ServingServer:
+    """Asyncio TCP front door over any number of tenant systems."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 64,
+        workers: int | None = None,
+        obs: "Observability | bool | None" = None,
+        freshness_window: int = 16,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.host = host
+        self.port = port  # 0 until start() binds
+        self._requested_port = port
+        self.max_inflight = max_inflight
+        #: Commits of request staleness tolerated per tenant server
+        #: (bounded-window acceptance under concurrent writers; 0 keeps
+        #: the strict single-writer rule).
+        self.freshness_window = freshness_window
+        self._obs = Observability.coerce(obs)
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers or min(32, (os.cpu_count() or 4) + 4),
+            thread_name_prefix="serving",
+        )
+        self._tenants: dict[str, TenantSession] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._inflight = 0
+        self._connections = 0
+        self._draining = False
+        self._drain_started = False
+        self._drained = asyncio.Event()
+        self._lifecycle = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Tenant registry
+    # ------------------------------------------------------------------
+    def register_tenant(
+        self,
+        tenant_id: str,
+        system: SecureXMLSystem,
+        storage_dir: str | None = None,
+    ) -> TenantSession:
+        if tenant_id in self._tenants:
+            raise ValueError(f"tenant {tenant_id!r} already registered")
+        session = TenantSession(
+            tenant_id, system, storage_dir=storage_dir,
+            freshness_window=self.freshness_window,
+        )
+        self._tenants[tenant_id] = session
+        return session
+
+    @property
+    def tenants(self) -> dict[str, TenantSession]:
+        return dict(self._tenants)
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> tuple[str, int]:
+        """Bind the listener and start serving; returns ``(host, port)``."""
+        with self._lifecycle:
+            if self._loop is not None:
+                raise RuntimeError("serving server already started")
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            self._thread = threading.Thread(
+                target=self._run_loop,
+                args=(loop,),
+                name="serving-loop",
+                daemon=True,
+            )
+            self._thread.start()
+            future = asyncio.run_coroutine_threadsafe(
+                self._open_listener(), loop
+            )
+            self.port = future.result(timeout=30)
+            return (self.host, self.port)
+
+    def _run_loop(self, loop: asyncio.AbstractEventLoop) -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    async def _open_listener(self) -> int:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        return self._server.sockets[0].getsockname()[1]
+
+    def drain(self, timeout: float | None = 60.0) -> None:
+        """Graceful shutdown of serving (the loop itself keeps running).
+
+        Stop accepting connections, refuse new requests with the typed
+        :class:`ServerDraining`, wait for every in-flight request, then
+        flush and persist every tenant.  Idempotent and safe to call
+        concurrently — late callers wait for the first drain to finish.
+        """
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            return
+        future = asyncio.run_coroutine_threadsafe(self._drain_async(), loop)
+        future.result(timeout=timeout)
+
+    async def _drain_async(self) -> None:
+        if self._drain_started:
+            await self._drained.wait()
+            return
+        self._drain_started = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = [task for task in self._tasks if not task.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        for session in self._tenants.values():
+            await loop.run_in_executor(self._executor, session.drain)
+        for writer in list(self._writers):
+            writer.close()
+        counters.add("serving_drains")
+        self._drained.set()
+
+    def stop(self, timeout: float | None = 60.0) -> None:
+        """Drain (if not yet drained) and tear the loop down. Idempotent."""
+        self.drain(timeout=timeout)
+        with self._lifecycle:
+            loop = self._loop
+            if loop is None:
+                return
+            self._loop = None
+            loop.call_soon_threadsafe(loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=timeout)
+                self._thread = None
+            self._server = None
+            self._executor.shutdown(wait=False)
+
+    def __enter__(self) -> "ServingServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling (event-loop side)
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        counters.add("serving_connections")
+        self._connections += 1
+        self._set_gauge("serving_connections", self._connections)
+        write_lock = asyncio.Lock()
+        self._writers.add(writer)
+        try:
+            session = await self._handshake(reader, writer, write_lock)
+            if session is None:
+                return
+            while True:
+                try:
+                    rid, op, payload = await read_frame(reader)
+                except FrameError:
+                    return
+                await self._dispatch(
+                    session, rid, op, payload, writer, write_lock
+                )
+        finally:
+            self._writers.discard(writer)
+            self._connections -= 1
+            self._set_gauge("serving_connections", self._connections)
+            writer.close()
+            with suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handshake(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> TenantSession | None:
+        try:
+            rid, op, payload = await read_frame(reader)
+        except FrameError:
+            return None
+        if op != OP_HELLO:
+            await self._send_error(
+                writer, write_lock, rid,
+                ProtocolError(f"expected HELLO, got opcode {op}"),
+            )
+            return None
+        try:
+            hello = json.loads(payload.decode("utf-8"))
+            tenant_id = hello["tenant"]
+        except (ValueError, KeyError, UnicodeDecodeError):
+            await self._send_error(
+                writer, write_lock, rid,
+                ProtocolError("HELLO payload must be JSON with a tenant"),
+            )
+            return None
+        if self._draining:
+            await self._send_error(
+                writer, write_lock, rid, ServerDraining("server is draining")
+            )
+            return None
+        session = self._tenants.get(tenant_id)
+        if session is None:
+            await self._send_error(
+                writer, write_lock, rid,
+                UnknownTenantError(f"unknown tenant {tenant_id!r}"),
+            )
+            return None
+        loop = asyncio.get_running_loop()
+        reply = await loop.run_in_executor(self._executor, session.hello)
+        await self._send(
+            writer, write_lock, rid, OP_HELLO_OK,
+            json.dumps(reply, sort_keys=True).encode("utf-8"),
+        )
+        return session
+
+    async def _dispatch(
+        self,
+        session: TenantSession,
+        rid: int,
+        op: int,
+        payload: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        if op not in (
+            OP_QUERY, OP_QUERY_STREAM, OP_NAIVE,
+            OP_UPDATE, OP_FLUSH, OP_STATS,
+        ):
+            await self._send_error(
+                writer, write_lock, rid,
+                ProtocolError(f"unknown opcode {op}"),
+            )
+            return
+        try:
+            self._admit(session)
+        except (BackpressureRejected, ServerDraining) as exc:
+            await self._send_error(writer, write_lock, rid, exc)
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._run_request(session, rid, op, payload, writer, write_lock)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def _admit(self, session: TenantSession) -> None:
+        """Admission control: typed rejection before any work is queued."""
+        if self._draining:
+            raise ServerDraining("server is draining; request rejected")
+        self._observe("serving_queue_depth", float(self._inflight))
+        if self._inflight >= self.max_inflight:
+            counters.add("backpressure_rejections")
+            raise BackpressureRejected(
+                f"in-flight queue full ({self.max_inflight} requests)"
+            )
+        self._inflight += 1
+        self._set_gauge("serving_inflight", self._inflight)
+        counters.add("serving_requests")
+        if self._obs.enabled:
+            self._obs.metrics.inc_labeled(
+                "serving_tenant_requests", tenant=session.tenant_id
+            )
+
+    async def _run_request(
+        self,
+        session: TenantSession,
+        rid: int,
+        op: int,
+        payload: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        try:
+            if op == OP_QUERY_STREAM:
+                await self._run_stream(
+                    session, rid, payload, writer, write_lock
+                )
+            else:
+                handler = {
+                    OP_QUERY: session.query,
+                    OP_NAIVE: session.naive,
+                    OP_UPDATE: session.update,
+                    OP_FLUSH: lambda _: session.flush(),
+                    OP_STATS: lambda _: session.stats(),
+                }[op]
+                blob = await loop.run_in_executor(
+                    self._executor, handler, payload
+                )
+                await self._send(writer, write_lock, rid, OP_OK, blob)
+        except (ConnectionError, FrameError):
+            pass  # peer went away mid-response; nothing left to tell it
+        except Exception as exc:  # typed errors travel as ERROR frames
+            with suppress(ConnectionError, FrameError):
+                await self._send_error(writer, write_lock, rid, exc)
+        finally:
+            self._inflight -= 1
+            self._set_gauge("serving_inflight", self._inflight)
+            self._observe(
+                "serving_request_seconds", time.perf_counter() - started
+            )
+
+    async def _run_stream(
+        self,
+        session: TenantSession,
+        rid: int,
+        payload: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        if len(payload) < 4:
+            raise ProtocolError("stream request missing chunk-count prefix")
+        chunk_fragments = int.from_bytes(payload[:4], "big") or 8
+        counters.add("serving_streams")
+        loop = asyncio.get_running_loop()
+        stream = session.query_stream(payload[4:], chunk_fragments)
+        try:
+            while True:
+                chunk = await loop.run_in_executor(
+                    self._executor, next, stream, _STREAM_DONE
+                )
+                if chunk is _STREAM_DONE:
+                    break
+                await self._send(writer, write_lock, rid, OP_CHUNK, chunk)
+        finally:
+            stream.close()
+        await self._send(writer, write_lock, rid, OP_END, b"")
+
+    # ------------------------------------------------------------------
+    # Frame I/O and metric helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        rid: int,
+        op: int,
+        payload: bytes,
+    ) -> None:
+        frame = encode_frame(rid, op, payload)
+        async with write_lock:
+            writer.write(frame)
+            await writer.drain()
+
+    async def _send_error(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        rid: int,
+        exc: Exception,
+    ) -> None:
+        await self._send(writer, write_lock, rid, OP_ERROR, encode_error(exc))
+
+    def _observe(self, name: str, value: float) -> None:
+        if self._obs.enabled:
+            self._obs.metrics.observe(name, value)
+
+    def _set_gauge(self, name: str, value: float) -> None:
+        if self._obs.enabled:
+            self._obs.metrics.set_gauge(name, float(value))

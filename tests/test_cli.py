@@ -136,6 +136,13 @@ class TestObservabilityCommands:
         assert "query_seconds" in out
         assert "slow-query log" in out
 
+    def test_stats_table_includes_serving_metrics(self, capsys):
+        assert main(["stats", "--per-class", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "serving gauges + labeled counters" in out
+        assert "serving_connections" in out
+        assert "serving_request_seconds" in out
+
     def test_stats_json(self, capsys):
         import json
 
@@ -154,3 +161,52 @@ class TestObservabilityCommands:
         assert lint_prometheus(out) == []
         samples = parse_prometheus(out)
         assert samples["repro_query_seconds_count"] > 0
+        assert samples["repro_serving_connections"] == 0
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.tenant == "default"
+        assert args.port == 0
+        assert args.max_inflight == 64
+        assert args.serve_for is None
+
+    def test_serve_for_duration_then_drains(self, capsys, tmp_path):
+        directory = str(tmp_path / "hosting")
+        assert main(
+            ["serve", "--serve-for", "0.1", "--storage", directory,
+             "--tenant", "clinic"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving tenant 'clinic'" in out
+        assert "drained and stopped" in out
+        capsys.readouterr()
+        # The drain persisted a loadable hosting.
+        assert main(["query", "--load", directory, "//SSN"]) == 0
+        assert "763895" in capsys.readouterr().out
+
+    def test_served_tenant_answers_over_the_socket(self):
+        """The same stack ``repro serve`` wires, driven by a remote peer."""
+        from repro.core.system import SecureXMLSystem
+        from repro.serving import ServingServer, remote_system
+        from repro.workloads.healthcare import (
+            build_healthcare_database,
+            healthcare_constraints,
+        )
+
+        local = SecureXMLSystem.host(
+            build_healthcare_database(), healthcare_constraints(),
+            scheme="opt",
+        )
+        server = ServingServer()
+        server.register_tenant("default", local)
+        remote = remote_system(local, server.start(), "default")
+        try:
+            assert remote.query("//SSN").canonical() == (
+                local.query("//SSN").canonical()
+            )
+        finally:
+            remote.close()
+            server.stop()
+            local.close()

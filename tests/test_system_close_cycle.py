@@ -151,3 +151,98 @@ class TestClusterCloseCycles:
             a.canonical() for a in cluster_system.execute_many(queries)
         ]
         assert again == baseline
+
+
+class TestConcurrentClose:
+    """Satellite of PR 8: `close()` is safe under concurrency.
+
+    A serving drain can race an explicit `close()` (or another drain),
+    so the teardown must tolerate being entered from several threads at
+    once — and still leave the system usable afterwards.
+    """
+
+    def test_threaded_double_close(self, system):
+        import threading
+
+        system.query(QUERY)
+        errors = []
+
+        def closer():
+            try:
+                system.close()
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        assert system.query(QUERY) is not None
+
+    def test_threaded_close_on_cluster_system(
+        self, healthcare_doc, healthcare_scs
+    ):
+        import threading
+
+        from repro.cluster import ClusterConfig
+
+        system = SecureXMLSystem.host(
+            healthcare_doc,
+            healthcare_scs,
+            parallel=2,
+            cluster=ClusterConfig(shards=2, replicas=2),
+        )
+        system.query(QUERY)
+        errors = []
+
+        def closer():
+            try:
+                system.close()
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        assert system.query(QUERY) is not None
+        system.close()
+
+    def test_remote_system_close_races_server_drain(
+        self, healthcare_doc, healthcare_scs
+    ):
+        """The drain-vs-close race the serving layer actually hits."""
+        import threading
+
+        from repro.serving import ServingServer, remote_system
+
+        local = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="opt"
+        )
+        server = ServingServer()
+        server.register_tenant("t0", local)
+        remote = remote_system(local, server.start(), "t0")
+        remote.query(QUERY)
+        errors = []
+
+        def run(target):
+            try:
+                target()
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(remote.close,)),
+            threading.Thread(target=run, args=(server.drain,)),
+            threading.Thread(target=run, args=(remote.close,)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        server.stop()
+        assert errors == []
