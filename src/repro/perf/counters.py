@@ -124,6 +124,9 @@ class PerfCounters:
     #: re-verification against the historical root for their epoch
     #: (bounded ``Server.freshness_window``, serving layer only).
     requests_accepted_in_window: int = 0
+    #: Sealed commands rejected by the replay dedup: a blob whose MAC
+    #: tag was already applied within the live freshness window.
+    serving_replays_rejected: int = 0
     #: Graceful drains completed (in-flight finished, caches flushed,
     #: storage fsynced).
     serving_drains: int = 0

@@ -20,6 +20,7 @@ from repro.serving.errors import (
     BackpressureRejected,
     ProtocolError,
     RemoteServerError,
+    RequestTimeoutError,
     ServerDraining,
     ServingError,
     UnknownTenantError,
@@ -49,6 +50,7 @@ __all__ = [
     "RemoteSecureXMLSystem",
     "RemoteServer",
     "RemoteServerError",
+    "RequestTimeoutError",
     "ServerDraining",
     "ServingConnection",
     "ServingError",

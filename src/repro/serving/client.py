@@ -36,9 +36,13 @@ Three layers, innermost first:
 Update parity: in-process updates are local mutations with no channel
 transfer, so remote updates bypass the fault transport too.  They cross
 as freshness-sealed commands (:data:`OP_UPDATE`) bound to the tenant's
-``(epoch, Merkle root)`` anchor; losing a seal race to a concurrent
-writer surfaces as a typed freshness error and the client re-seals
-against the moved anchor, a bounded number of times.
+``(epoch, Merkle root)`` anchor *and* a random per-command nonce (so
+the server's replay dedup can key on the seal's MAC tag without ever
+rejecting a distinct identical command); losing a seal race to a
+concurrent writer surfaces as a typed freshness error and the client
+re-seals against the moved anchor, a bounded number of times.  Flush
+and stats travel the same sealed-command path — no tenant operation is
+reachable unauthenticated.
 """
 
 from __future__ import annotations
@@ -46,7 +50,9 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import secrets
 import threading
+from concurrent.futures import TimeoutError as _FutureTimeoutError
 from typing import Iterator
 
 from repro.core.client import Client
@@ -58,9 +64,15 @@ from repro.core.integrity import (
 )
 from repro.core.parallel import ParallelConfig, WorkerPool
 from repro.core.system import SecureXMLSystem
+from repro.crypto.keyring import ClientKeyring
 from repro.netsim.channel import Channel, NullChannel
 
-from repro.serving.errors import ProtocolError, decode_error
+from repro.serving.errors import (
+    ProtocolError,
+    RequestTimeoutError,
+    ServingError,
+    decode_error,
+)
 from repro.serving.framing import (
     OP_CHUNK,
     OP_END,
@@ -87,8 +99,8 @@ from repro.serving.transport import AsyncFaultTransport
 #: twin, so faulting them would desynchronize seeded schedules.
 FAULTED_OPS = frozenset({OP_QUERY, OP_QUERY_STREAM, OP_NAIVE})
 
-#: How many times a remote update re-seals after losing an anchor race.
-_UPDATE_RESEAL_ATTEMPTS = 5
+#: How many times a sealed command re-seals after losing an anchor race.
+_COMMAND_RESEAL_ATTEMPTS = 5
 
 #: Sentinel opcode the reader enqueues when the connection dies.
 _CLOSED = -1
@@ -242,9 +254,17 @@ class ServingConnection:
         tenant: str,
         channel: Channel | None = None,
         timeout: float = 60.0,
+        keyring: "ClientKeyring | None" = None,
+        hosted: "object | None" = None,
     ) -> None:
         self.transport = AsyncFaultTransport(channel)
         self._timeout = timeout
+        # Owner-side state for sealed control commands (update, flush,
+        # stats): the session keys and the live (epoch, root) anchor.
+        # Optional — a connection without them can still run the sealed
+        # query paths, whose blobs the caller seals itself.
+        self._keyring = keyring
+        self._hosted = hosted
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever,
@@ -264,9 +284,18 @@ class ServingConnection:
         self.hello = self._client.hello
 
     def _run(self, coro):
-        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(
-            self._timeout
-        )
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        try:
+            return future.result(self._timeout)
+        except _FutureTimeoutError:
+            # Cancel the coroutine on the client loop so its finally
+            # blocks run (dropping the _pending entry) — otherwise the
+            # abandoned call sits on queue.get forever and a late frame
+            # for its request id could be mis-delivered later.
+            future.cancel()
+            raise RequestTimeoutError(
+                f"no response within {self._timeout}s"
+            ) from None
 
     # ------------------------------------------------------------------
     # Request surface
@@ -323,8 +352,44 @@ class ServingConnection:
             else:
                 self._run(self._client.drain_stream(rid))
 
+    def sealed_call(self, op: int, command: dict) -> bytes:
+        """Issue a freshness-sealed control command; returns the
+        verified response payload.
+
+        The command JSON gains a random nonce (so two identical logical
+        commands seal to distinct blobs — the server's replay dedup
+        keys on the seal's MAC tag) and is sealed at the live anchor;
+        losing the anchor race to a concurrent writer re-seals against
+        the moved epoch, a bounded number of times.  The response must
+        verify under the tenant's response key.
+        """
+        if self._keyring is None or self._hosted is None:
+            raise ServingError(
+                "connection opened without keyring/hosted state; sealed "
+                "control commands need both (see remote_system)"
+            )
+        request_key, response_key = self._keyring.session_keys()
+        payload = json.dumps(
+            {**command, "nonce": secrets.token_hex(16)}, sort_keys=True
+        ).encode("utf-8")
+        last: FreshnessError | None = None
+        for _ in range(_COMMAND_RESEAL_ATTEMPTS):
+            epoch, root = self._hosted.anchor()
+            blob = seal_fresh(request_key, payload, epoch, root)
+            try:
+                sealed = self.call(op, blob)
+            except FreshnessError as exc:
+                last = exc
+                continue
+            return unseal(
+                response_key, sealed, error=TamperedResponseError
+            )
+        assert last is not None
+        raise last
+
     def stats(self) -> dict:
-        return json.loads(self.call(OP_STATS, b"").decode("utf-8"))
+        sealed = self.sealed_call(OP_STATS, {"op": "stats"})
+        return json.loads(sealed.decode("utf-8"))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -377,7 +442,7 @@ class RemoteServer:
         return self._connection.call(OP_NAIVE, request_blob)
 
     def flush_caches(self) -> None:
-        self._connection.call(OP_FLUSH, b"")
+        self._connection.sealed_call(OP_FLUSH, {"op": "flush"})
 
 
 class RemoteSecureXMLSystem(SecureXMLSystem):
@@ -415,28 +480,11 @@ class RemoteSecureXMLSystem(SecureXMLSystem):
     def _remote_update(self, op: dict) -> None:
         connection = self._connection
         assert connection is not None, "remote system has no connection"
-        request_key, response_key = self._keyring.session_keys()
-        payload = json.dumps(op, sort_keys=True).encode("utf-8")
-        last: FreshnessError | None = None
-        for _ in range(_UPDATE_RESEAL_ATTEMPTS):
-            epoch, root = self.hosted.anchor()
-            blob = seal_fresh(request_key, payload, epoch, root)
-            try:
-                sealed_ack = connection.call(OP_UPDATE, blob)
-            except FreshnessError as exc:
-                # Lost the anchor race to a concurrent writer; the next
-                # iteration re-reads the (shared) hosted anchor and
-                # re-seals against the moved epoch.
-                last = exc
-                continue
-            ack = unseal(
-                response_key, sealed_ack, error=TamperedResponseError
-            )
-            json.loads(ack.decode("utf-8"))  # malformed ack → typed error
-            self._refresh_client()
-            return
-        assert last is not None
-        raise last
+        # sealed_call binds a fresh nonce, seals at the live anchor and
+        # re-seals after losing an anchor race to a concurrent writer.
+        ack = connection.sealed_call(OP_UPDATE, op)
+        json.loads(ack.decode("utf-8"))  # malformed ack → typed error
+        self._refresh_client()
 
     # ------------------------------------------------------------------
     # Teardown
@@ -473,7 +521,8 @@ def remote_system(
     """
     host, port = address
     connection = ServingConnection(
-        host, port, tenant, channel=channel, timeout=timeout
+        host, port, tenant, channel=channel, timeout=timeout,
+        keyring=local.keyring, hosted=local.hosted,
     )
     config = ParallelConfig.coerce(parallel)
     pool = WorkerPool(config) if config.enabled else None

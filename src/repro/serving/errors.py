@@ -28,6 +28,7 @@ import json
 from repro.core.integrity import (
     FreshnessError,
     IntegrityError,
+    ReplayedCommandError,
     RollbackDetectedError,
     StaleStateError,
     TamperedRequestError,
@@ -64,6 +65,17 @@ class ServerDraining(TransferDropped):
     """The server is draining: no new requests, in-flight ones finish."""
 
 
+class RequestTimeoutError(ServingError):
+    """A client-side deadline expired with the request still in flight.
+
+    Raised by the blocking facade only — the server may or may not have
+    executed the operation, so this is deliberately *not* retryable
+    (re-issuing a mutating command after a timeout could double-apply
+    it); callers that know their operation is idempotent can retry
+    explicitly.
+    """
+
+
 class RemoteServerError(ServingError):
     """A server-side error whose type is not in the shared registry.
 
@@ -82,6 +94,7 @@ _REGISTERED: tuple[type[Exception], ...] = (
     TamperedRequestError,
     TamperedResponseError,
     FreshnessError,
+    ReplayedCommandError,
     RollbackDetectedError,
     StaleStateError,
     # Pipeline failures.

@@ -43,9 +43,9 @@ OP_HELLO = 1  # JSON {"tenant": ..., "protocol": 1}
 OP_QUERY = 2  # sealed translated-query request (answer_wire)
 OP_QUERY_STREAM = 3  # u32 chunk_fragments | sealed request (streamed)
 OP_NAIVE = 4  # sealed naive request (ship_all_wire)
-OP_UPDATE = 5  # sealed JSON update operation
-OP_FLUSH = 6  # drop the tenant's warm caches (admin/benchmarks)
-OP_STATS = 7  # JSON per-tenant serving statistics
+OP_UPDATE = 5  # freshness-sealed JSON update command (nonce-bound)
+OP_FLUSH = 6  # freshness-sealed {"op": "flush"} command (admin/benchmarks)
+OP_STATS = 7  # freshness-sealed {"op": "stats"}; sealed JSON response
 
 # Server -> client opcodes.
 OP_OK = 16  # complete response payload for the request id

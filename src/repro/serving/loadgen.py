@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import secrets
 import time
 from dataclasses import dataclass
 
@@ -175,7 +176,12 @@ def run_load(
             report.failures += 1
 
         async def _update(conn: AsyncServingClient, op: dict) -> None:
-            payload = json.dumps(op, sort_keys=True).encode("utf-8")
+            # The nonce makes this command distinct from every other
+            # instance of the same logical op, so the server's replay
+            # dedup (keyed on the seal's MAC tag) never rejects it.
+            payload = json.dumps(
+                {**op, "nonce": secrets.token_hex(16)}, sort_keys=True
+            ).encode("utf-8")
             for attempt in range(max_attempts):
                 try:
                     epoch, root = local.hosted.anchor()

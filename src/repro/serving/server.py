@@ -53,8 +53,12 @@ from contextlib import contextmanager, suppress
 from typing import TYPE_CHECKING, Iterator
 
 from repro.core.integrity import (
+    FRESH_HEADER,
+    FRESH_OVERHEAD,
+    ReplayedCommandError,
     RollbackDetectedError,
     TamperedRequestError,
+    peek_epoch,
     seal,
     unseal_fresh,
 )
@@ -180,6 +184,12 @@ class TenantSession:
         )
         self._counts_lock = threading.Lock()
         self.op_counts: dict[str, int] = {}
+        # Replay guard for sealed commands: MAC tag -> sealed epoch of
+        # every command applied within the live freshness window (see
+        # _register_command).  Own lock: stats commands verify under the
+        # read lock, concurrently with each other.
+        self._seen_command_tags: dict[bytes, int] = {}
+        self._replay_lock = threading.Lock()
         # Many concurrent connections race the write path, so a request
         # sealed an instant before a concurrent commit must stay
         # acceptable: widen every underlying server's request-freshness
@@ -252,27 +262,72 @@ class TenantSession:
         than the window gets the typed
         :class:`~repro.core.integrity.RollbackDetectedError` back and
         re-seals against the new epoch (bounded retries client-side).
-        The ack is sealed with the plain envelope (not the freshness
-        one): by the time the client verifies it, a *further* update may
-        legitimately have moved the anchor again, and the ack's job is
-        authenticity, not freshness.
+        A command *blob* seen before gets the typed
+        :class:`~repro.core.integrity.ReplayedCommandError` — the window
+        never makes a captured update re-applicable (see
+        :meth:`_register_command`).  The ack is sealed with the plain
+        envelope (not the freshness one): by the time the client
+        verifies it, a *further* update may legitimately have moved the
+        anchor again, and the ack's job is authenticity, not freshness.
         """
         counters.add("serving_updates")
         self._count("update")
         with self._rw.write():
-            payload = self._open_fresh_command(blob)
-            try:
-                op = json.loads(payload.decode("utf-8"))
-            except (ValueError, UnicodeDecodeError) as exc:
-                raise TamperedRequestError(
-                    "update payload is not valid JSON"
-                ) from exc
+            op = self._open_command(blob)
             applied = self._apply_update(op)
             ack = json.dumps(
                 {"applied": applied, "epoch": self.system.hosted.epoch},
                 sort_keys=True,
             ).encode("utf-8")
             return seal(self._response_key, ack)
+
+    def _open_command(self, blob: bytes) -> dict:
+        """Verify, replay-check and decode one sealed command blob."""
+        payload = self._open_fresh_command(blob)
+        self._register_command(blob)
+        try:
+            op = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise TamperedRequestError(
+                "command payload is not valid JSON"
+            ) from exc
+        if not isinstance(op, dict):
+            raise TamperedRequestError("command payload is not an object")
+        return op
+
+    def _register_command(self, blob: bytes) -> None:
+        """Replay guard: one sealed command blob is accepted at most once.
+
+        The bounded freshness window keeps a sealed command MAC-valid
+        for up to ``freshness_window`` commits, so a wire adversary who
+        captures an update blob could otherwise re-send it and have it
+        re-applied — a bounded rollback.  The MAC tag identifies a
+        sealed command uniquely (clients bind a random nonce into the
+        payload, so even identical logical commands seal to distinct
+        tags), and the freshness rule already bounds how long any tag
+        stays acceptable — remembering the tags sealed within the live
+        window is therefore a *complete* dedup with memory bounded by
+        the window's write rate.  Only runs after
+        :meth:`_open_fresh_command` authenticated the blob, so the tag
+        and epoch read here are trusted bytes.
+        """
+        tag = blob[FRESH_HEADER:FRESH_OVERHEAD]
+        sealed_epoch = peek_epoch(blob) or 0
+        with self._replay_lock:
+            horizon = self.system.hosted.epoch - self.freshness_window
+            stale = [
+                seen
+                for seen, epoch in self._seen_command_tags.items()
+                if epoch < horizon
+            ]
+            for seen in stale:
+                del self._seen_command_tags[seen]
+            if tag in self._seen_command_tags:
+                counters.add("serving_replays_rejected")
+                raise ReplayedCommandError(
+                    "sealed command replayed within the freshness window"
+                )
+            self._seen_command_tags[tag] = sealed_epoch
 
     def _open_fresh_command(self, blob: bytes) -> bytes:
         """Unseal a freshness-sealed command, within the staleness window.
@@ -319,19 +374,46 @@ class TenantSession:
             self.system.update_value(op["xpath"], op["new_value"])
         return name
 
-    def flush(self) -> bytes:
+    def flush(self, blob: bytes) -> bytes:
+        """Drop the tenant's warm caches; requires a sealed command.
+
+        Flushing is a write-path admin operation with real cost (every
+        cache refills cold), so it is authenticated exactly like an
+        update: a freshness-sealed ``{"op": "flush"}`` command under the
+        tenant's request key, replay-deduped within the window — an
+        unauthenticated peer that knows the tenant id cannot drop the
+        caches, and a captured flush blob cannot be re-sent.
+        """
         self._count("flush")
         with self._rw.write():
+            op = self._open_command(blob)
+            if op.get("op") != "flush":
+                raise TamperedRequestError(
+                    "flush request carries a different command"
+                )
             self.system.flush_caches()
             if self._gateway is not None:
                 self._gateway.flush_caches()
-        return b"{}"
+            return seal(self._response_key, b"{}")
 
-    def stats(self) -> bytes:
+    def stats(self, blob: bytes) -> bytes:
+        """Per-tenant serving statistics; requires a sealed command.
+
+        Epoch and op counts are tenant metadata, so reading them takes
+        the same sealed-command authentication as every other non-query
+        op, and the response is sealed under the tenant's response key —
+        a peer without the session keys gets a typed tamper error and
+        learns nothing from a captured reply.
+        """
         self._count("stats")
+        op = self._open_command(blob)
+        if op.get("op") != "stats":
+            raise TamperedRequestError(
+                "stats request carries a different command"
+            )
         with self._counts_lock:
             ops = dict(self.op_counts)
-        return json.dumps(
+        payload = json.dumps(
             {
                 "tenant": self.tenant_id,
                 "epoch": self.system.hosted.epoch,
@@ -339,6 +421,7 @@ class TenantSession:
             },
             sort_keys=True,
         ).encode("utf-8")
+        return seal(self._response_key, payload)
 
     # ------------------------------------------------------------------
     # Drain
@@ -663,8 +746,8 @@ class ServingServer:
                     OP_QUERY: session.query,
                     OP_NAIVE: session.naive,
                     OP_UPDATE: session.update,
-                    OP_FLUSH: lambda _: session.flush(),
-                    OP_STATS: lambda _: session.stats(),
+                    OP_FLUSH: session.flush,
+                    OP_STATS: session.stats,
                 }[op]
                 blob = await loop.run_in_executor(
                     self._executor, handler, payload

@@ -26,6 +26,7 @@ from repro.serving import (
     FrameError,
     ProtocolError,
     RemoteServerError,
+    RequestTimeoutError,
     ServerDraining,
     ServingConnection,
     ServingServer,
@@ -37,7 +38,7 @@ from repro.serving import (
     remote_system,
     run_load,
 )
-from repro.serving.framing import OP_QUERY, OP_STATS, read_frame
+from repro.serving.framing import OP_FLUSH, OP_QUERY, OP_STATS, OP_UPDATE
 from repro.serving.server import ReadWriteLock
 
 QUERIES = (
@@ -747,6 +748,123 @@ class TestFreshnessWindow:
         assert payload["applied"] == "update_value"
         assert local.query(PROBE).values() == ["777888"]
 
+    def test_replayed_update_command_is_rejected(self, local):
+        """A captured OP_UPDATE blob must not be re-applicable within
+        the freshness window: the dedup raises the typed
+        ReplayedCommandError and the value stays at the first commit."""
+        from repro.core.integrity import ReplayedCommandError, seal_fresh
+
+        server = ServingServer()  # default window=16 keeps the blob fresh
+        session = server.register_tenant("t0", local)
+        request_key, _ = local.keyring.session_keys()
+        epoch, root = local.hosted.anchor()
+        blob = seal_fresh(
+            request_key,
+            json.dumps(
+                {"op": "update_value", "xpath": PROBE,
+                 "new_value": "100001", "nonce": "n-0"},
+                sort_keys=True,
+            ).encode("utf-8"),
+            epoch, root,
+        )
+        session.update(blob)
+        assert local.query(PROBE).values() == ["100001"]
+        local.update_value(PROBE, "100002")  # a newer legitimate write
+        before = counters.snapshot()
+        with pytest.raises(ReplayedCommandError):
+            session.update(blob)  # wire adversary re-sends the capture
+        delta = counters.delta_since(before)
+        assert delta.get("serving_replays_rejected", 0) == 1
+        # The rollback the replay attempted did not happen.
+        assert local.query(PROBE).values() == ["100002"]
+
+    def test_replay_rejected_as_typed_error_over_socket(self, served):
+        from repro.core.integrity import ReplayedCommandError, seal_fresh
+        from repro.serving.client import AsyncServingClient
+
+        _, (host, port), local = served
+        request_key, _ = local.keyring.session_keys()
+        epoch, root = local.hosted.anchor()
+        blob = seal_fresh(
+            request_key,
+            json.dumps(
+                {"op": "update_value", "xpath": PROBE,
+                 "new_value": "200002", "nonce": "n-1"},
+                sort_keys=True,
+            ).encode("utf-8"),
+            epoch, root,
+        )
+
+        async def drive():
+            conn = await AsyncServingClient.open(host, port, "t0")
+            try:
+                await conn.call(OP_UPDATE, blob)
+                with pytest.raises(ReplayedCommandError):
+                    await conn.call(OP_UPDATE, blob)
+            finally:
+                await conn.close()
+
+        asyncio.run(drive())
+        assert local.query(PROBE).values() == ["200002"]
+
+    def test_identical_commands_with_distinct_nonces_both_apply(
+        self, local
+    ):
+        """The dedup keys on the sealed blob, not the logical op: two
+        same-op commands sealed at the same anchor under different
+        nonces are distinct commands and both commit."""
+        from repro.core.integrity import seal_fresh
+
+        server = ServingServer()
+        session = server.register_tenant("t0", local)
+        request_key, _ = local.keyring.session_keys()
+        epoch, root = local.hosted.anchor()
+        blobs = [
+            seal_fresh(
+                request_key,
+                json.dumps(
+                    {"op": "update_value", "xpath": PROBE,
+                     "new_value": "300003", "nonce": nonce},
+                    sort_keys=True,
+                ).encode("utf-8"),
+                epoch, root,
+            )
+            for nonce in ("n-a", "n-b")
+        ]
+        for blob in blobs:
+            session.update(blob)  # second lands in-window, not as replay
+        assert local.hosted.epoch == epoch + 2
+
+    def test_replay_memory_is_pruned_to_the_window(self, local):
+        from repro.core.integrity import seal_fresh
+
+        server = ServingServer(freshness_window=2)
+        session = server.register_tenant("t0", local)
+        request_key, _ = local.keyring.session_keys()
+        for value in ("400001", "400002", "400003", "400004"):
+            epoch, root = local.hosted.anchor()
+            blob = seal_fresh(
+                request_key,
+                json.dumps(
+                    {"op": "update_value", "xpath": PROBE,
+                     "new_value": value, "nonce": f"n-{value}"},
+                    sort_keys=True,
+                ).encode("utf-8"),
+                epoch, root,
+            )
+            session.update(blob)
+        # Tags sealed before the live window can no longer verify, so
+        # the dedup memory stays bounded by the window's write rate.
+        # The last prune ran at registration time (one commit ago).
+        horizon = local.hosted.epoch - 1 - session.freshness_window
+        assert all(
+            epoch >= horizon
+            for epoch in session._seen_command_tags.values()
+        )
+        assert len(session._seen_command_tags) <= (
+            session.freshness_window + 1
+        )
+
     def test_loadgen_reports_flight_accepts(self, served):
         server, address, local = served
         report = run_load(
@@ -767,3 +885,139 @@ class TestFreshnessWindow:
         # this scale, but retries + accepts must reconcile either way).
         assert report.flight_accepts >= 0
         assert report.queries + report.updates == 48
+
+
+# ----------------------------------------------------------------------
+# Control-plane authentication (flush/stats are sealed commands)
+# ----------------------------------------------------------------------
+class TestControlPlaneAuth:
+    """FLUSH and STATS must not be reachable by an unauthenticated peer:
+    knowing a tenant id (HELLO is unauthenticated) must not allow
+    dropping the tenant's warm caches or reading its metadata."""
+
+    def test_unsealed_flush_and_stats_are_rejected(self, served):
+        from repro.core.integrity import TamperedRequestError
+        from repro.serving.client import AsyncServingClient
+
+        _, (host, port), _ = served
+
+        async def drive():
+            conn = await AsyncServingClient.open(host, port, "t0")
+            try:
+                for op in (OP_FLUSH, OP_STATS):
+                    with pytest.raises(TamperedRequestError):
+                        await conn.call(op, b"")
+                    with pytest.raises(TamperedRequestError):
+                        await conn.call(op, b"\x00" * 96)
+            finally:
+                await conn.close()
+
+        asyncio.run(drive())
+
+    def test_sealed_flush_round_trips(self, served):
+        _, address, local = served
+        remote = remote_system(local, address, "t0")
+        try:
+            remote.query(PROBE)
+            remote.server.flush_caches()  # sealed {"op": "flush"}
+            assert remote.query(PROBE).canonical() == (
+                local.query(PROBE).canonical()
+            )
+        finally:
+            remote.close()
+
+    def test_sealed_stats_response_is_verified(self, served):
+        _, address, local = served
+        remote = remote_system(local, address, "t0")
+        try:
+            remote.query(PROBE)
+            stats = remote._connection.stats()
+            assert stats["tenant"] == "t0"
+            assert stats["ops"]["query"] >= 1
+        finally:
+            remote.close()
+
+    def test_connection_without_keys_cannot_issue_commands(self, served):
+        from repro.serving import ServingError
+
+        _, (host, port), _ = served
+        connection = ServingConnection(host, port, "t0")
+        try:
+            with pytest.raises(ServingError):
+                connection.stats()
+        finally:
+            connection.close()
+
+    def test_flush_replay_is_rejected(self, served):
+        """A captured sealed flush blob cannot be re-sent to repeatedly
+        drop the tenant's caches (perf DoS)."""
+        from repro.core.integrity import ReplayedCommandError, seal_fresh
+        from repro.serving.client import AsyncServingClient
+
+        _, (host, port), local = served
+        request_key, _ = local.keyring.session_keys()
+        epoch, root = local.hosted.anchor()
+        blob = seal_fresh(
+            request_key,
+            json.dumps(
+                {"op": "flush", "nonce": "n-f"}, sort_keys=True
+            ).encode("utf-8"),
+            epoch, root,
+        )
+
+        async def drive():
+            conn = await AsyncServingClient.open(host, port, "t0")
+            try:
+                await conn.call(OP_FLUSH, blob)
+                with pytest.raises(ReplayedCommandError):
+                    await conn.call(OP_FLUSH, blob)
+            finally:
+                await conn.close()
+
+        asyncio.run(drive())
+
+
+# ----------------------------------------------------------------------
+# Client-side request timeout
+# ----------------------------------------------------------------------
+class TestClientTimeout:
+    def test_timeout_raises_typed_error_and_cleans_pending(self, local):
+        """A timed-out request must cancel its coroutine on the client
+        loop (so the _pending entry is dropped, and a late frame cannot
+        be mis-delivered) and surface as the typed RequestTimeoutError;
+        the connection stays usable afterwards."""
+        from repro.core.client import Client
+
+        server = ServingServer(max_inflight=4)
+        session = server.register_tenant("t0", local)
+        gate = threading.Event()
+        release = threading.Event()
+        original = session.query
+
+        def slow_query(blob):
+            gate.set()
+            assert release.wait(timeout=30)
+            return original(blob)
+
+        session.query = slow_query
+        host, port = server.start()
+        sealer = Client(local.keyring, local.hosted, enable_cache=True)
+        blob = sealer.seal_request(sealer.translate(PROBE), cache_key=PROBE)
+        connection = ServingConnection(host, port, "t0", timeout=0.5)
+        try:
+            with pytest.raises(RequestTimeoutError):
+                connection.call(OP_QUERY, blob)
+            release.set()
+            session.query = original
+            deadline = time.time() + 10
+            while connection._client._pending and time.time() < deadline:
+                time.sleep(0.01)
+            assert connection._client._pending == {}
+            # The connection is still healthy: a fresh request gets its
+            # own id and round-trips normally.
+            sealed = connection.call(OP_QUERY, blob)
+            assert sealer.open_response(sealed) is not None
+        finally:
+            release.set()
+            connection.close()
+            server.stop()
