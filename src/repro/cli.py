@@ -115,6 +115,13 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         help="server join representation (default: $REPRO_BACKEND; "
         "answers are byte-identical either way)",
     )
+    parser.add_argument(
+        "--leakage", default=None, metavar="POLICY",
+        help="access-pattern countermeasures: 'off' records traces "
+        "only, 'full' enables padding+decoys+shuffle, or knobs like "
+        "'pad=8,decoys=16,shuffle=1,seed=0' (default: $REPRO_LEAKAGE; "
+        "answers are byte-identical either way)",
+    )
 
 
 def _cluster(args: argparse.Namespace):
@@ -141,6 +148,14 @@ def _backend(args: argparse.Namespace):
     ``None`` (flag absent) defers to ``REPRO_BACKEND``.
     """
     return getattr(args, "backend", None)
+
+
+def _leakage(args: argparse.Namespace):
+    """``--leakage`` policy spec for ``host(leakage=)``.
+
+    ``None`` (flag absent) defers to ``REPRO_LEAKAGE``.
+    """
+    return getattr(args, "leakage", None)
 
 
 def _parallel(args: argparse.Namespace):
@@ -199,6 +214,7 @@ def cmd_host(args: argparse.Namespace) -> int:
         document, constraints, scheme=args.scheme,
         master_key=_master_key(args), parallel=_parallel(args),
         cluster=_cluster(args), backend=_backend(args),
+        leakage=_leakage(args),
     )
     _print_hosting(system)
     coordinator = system.coordinator
@@ -235,7 +251,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         system = SecureXMLSystem.host(
             document, constraints, scheme=args.scheme,
             parallel=_parallel(args), cluster=_cluster(args),
-            backend=_backend(args),
+            backend=_backend(args), leakage=_leakage(args),
         )
     answer = system.query(args.xpath)
     print(f"answers ({len(answer)}):")
@@ -291,6 +307,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         document, constraints, scheme=args.scheme,
         master_key=_master_key(args), parallel=_parallel(args),
         cluster=_cluster(args), backend=_backend(args),
+        leakage=_leakage(args),
     )
     answer = system.query(args.xpath)
     trace = system.last_trace
@@ -339,6 +356,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         document, constraints, scheme=args.scheme,
         master_key=_master_key(args), parallel=_parallel(args),
         cluster=_cluster(args), backend=_backend(args),
+        leakage=_leakage(args),
     )
     workload = QueryWorkload(
         document, seed=args.seed, per_class=args.per_class
@@ -413,6 +431,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         document, constraints, scheme=args.scheme,
         master_key=_master_key(args), parallel=_parallel(args),
         cluster=cluster, backend=_backend(args),
+        leakage=_leakage(args),
     )
     coordinator = system.coordinator
     assert coordinator is not None
@@ -444,6 +463,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         document, constraints, scheme=args.scheme,
         master_key=_master_key(args), parallel=_parallel(args),
         cluster=_cluster(args), backend=_backend(args),
+        leakage=_leakage(args),
     )
     server = ServingServer(
         host=args.host, port=args.port,
@@ -457,6 +477,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"on {host}:{port}"
     )
     print(f"admission control: {args.max_inflight} in-flight requests")
+    if system.leakage is not None:
+        policy = system.leakage.policy
+        print(
+            "access-pattern countermeasures: "
+            f"pad_to={policy.pad_to} decoys={policy.decoys} "
+            f"shuffle={'on' if policy.shuffle else 'off'} "
+            f"seed={policy.seed}"
+        )
     if args.storage:
         print(f"drain persists the hosting to {args.storage}")
     try:
@@ -507,6 +535,30 @@ def cmd_attack(args: argparse.Namespace) -> int:
             f"{naive.domain_size}, OPESS cracked {len(opess.cracked)}/"
             f"{opess.domain_size}"
         )
+
+    # Third security tier: access-pattern trace attribution, with and
+    # without the fetch countermeasures (see repro.security.leakage).
+    from repro.core.leakage import LeakagePolicy
+    from repro.security.leakage import run_leakage_game
+    from repro.workloads.queries import QueryWorkload
+
+    queries = [
+        query
+        for queries in QueryWorkload(
+            document, seed=args.seed, per_class=2
+        ).by_class().values()
+        for query in queries
+    ][:6]
+    print()
+    for label, policy in (
+        ("unprotected traces", LeakagePolicy()),
+        ("full countermeasures", LeakagePolicy.full()),
+    ):
+        system = SecureXMLSystem.host(
+            document, constraints, scheme="opt", leakage=policy
+        )
+        game = run_leakage_game(system, queries, repeats=3, seed=args.seed)
+        print(f"{label}: {game.describe()}")
     return 0
 
 

@@ -51,6 +51,7 @@ from repro.cluster.shard import ShardServer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.client import Client
+    from repro.core.leakage import LeakageContext
     from repro.core.system import QueryTrace, RetryPolicy
     from repro.crypto.keyring import ClientKeyring
     from repro.obs import Observability
@@ -141,6 +142,38 @@ class ClusterCoordinator:
         self.replica_sets = replica_sets
         self._obs = obs
         self.epochs = ShardEpochs(len(replica_sets))
+        #: Access-pattern leakage context shared with every shard
+        #: replica; ``None`` keeps the fixed scatter order.
+        self.leakage: "LeakageContext | None" = None
+
+    def attach_leakage(self, context: "LeakageContext") -> None:
+        """Join the cluster to a system-wide leakage context.
+
+        Every replica of shard N records under the ``shard<N>`` observer
+        (the trace stream is per shard, not per replica — the attacker
+        model is a compromised shard, and failover must not fork the
+        decoy stream), and the coordinator's scatter order goes through
+        :meth:`scatter_order`.
+        """
+        self.leakage = context
+        for replica_set in self.replica_sets:
+            for replica in replica_set.replicas:
+                replica.server.attach_leakage(
+                    context, observer=f"shard{replica_set.shard_id}"
+                )
+
+    def scatter_order(self) -> "list[ReplicaSet]":
+        """Replica sets in the order this scatter should visit them.
+
+        Fixed (shard-id) order without a shuffling policy; otherwise a
+        seeded permutation per scatter.  The serving gateway fans out
+        through this same helper, so both scatter paths draw from the
+        one ``"scatter"`` stream.  Gather keys fragments by ``root_id``
+        and sorts, so visit order never changes the merged answer.
+        """
+        if self.leakage is None:
+            return list(self.replica_sets)
+        return self.leakage.scatter_order(self.replica_sets)
 
     # ------------------------------------------------------------------
     # Construction
@@ -244,7 +277,7 @@ class ClusterCoordinator:
         with tracer.span(
             "scatter", shards=len(self.replica_sets)
         ) as scatter_span:
-            for replica_set in self.replica_sets:
+            for replica_set in self.scatter_order():
                 # check_freshness runs inside the failover loop so a
                 # rollback is pinned on the replica that served it (and
                 # that replica is demoted/resynced); open_response then

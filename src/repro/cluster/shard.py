@@ -150,6 +150,26 @@ class ShardServer(Server):
             return super().ship_all()
         return ServerResponse(fragments=[], naive=True, blocks_shipped=0)
 
+    def _leakage_universe(self) -> tuple[int, ...]:
+        """Decoy population for this shard: only the blocks it stores.
+
+        A shard can only be asked for blocks in its placement slice, so
+        a decoy outside it would itself be a tell.  An empty slice means
+        no cover traffic is possible here — the trace then carries real
+        fetches only (and this shard ships none either).
+        """
+        cached = self._universe_cache
+        epoch = self._hosted.epoch
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        universe = tuple(
+            sorted(
+                blocks_of_shard(self._hosted, self.placement, self.shard_id)
+            )
+        )
+        self._universe_cache = (epoch, universe)
+        return universe
+
     # ------------------------------------------------------------------
     # What an attacker on this shard sees (security regression tests)
     # ------------------------------------------------------------------

@@ -46,6 +46,7 @@ from repro.xmldb.node import (
     Element,
     EncryptedBlockNode,
     Node,
+    iter_encrypted_blocks,
 )
 from repro.xmldb.parser import ENCRYPTED_DATA_TAG, parse_fragment
 from repro.xmldb.serializer import serialize
@@ -458,9 +459,8 @@ class Client:
             assert attribute is not None
             yield int(attribute.value), bytes.fromhex(root.text_value() or "")
             return
-        for node in root.iter():
-            if isinstance(node, EncryptedBlockNode):
-                yield node.block_id, node.payload
+        for node in iter_encrypted_blocks(root):
+            yield node.block_id, node.payload
 
     def decrypt_fragment(self, xml: str) -> Element:
         """Decrypt one shipped fragment (the streaming pipeline's unit).
@@ -587,11 +587,7 @@ class Client:
         return parse_fragment(plaintext.decode("utf-8"))
 
     def _decrypt_placeholders(self, root: Element) -> None:
-        placeholders = [
-            node
-            for node in root.iter()
-            if isinstance(node, EncryptedBlockNode)
-        ]
+        placeholders = list(iter_encrypted_blocks(root))
         for placeholder in placeholders:
             subtree = self._decrypt_block(
                 placeholder.block_id, placeholder.payload

@@ -33,6 +33,7 @@ from repro.core.integrity import (
     seal_fresh,
     unseal_fresh,
 )
+from repro.core.leakage import LeakageContext
 from repro.core.opess import ValueIndex
 from repro.core.parallel import WorkerPool, iter_chunks
 from repro.core.structural_join import MatchResult, match_pattern
@@ -45,7 +46,13 @@ from repro.netsim.message import (
     encode_stream_header,
 )
 from repro.perf import counters
-from repro.xmldb.node import Attribute, Element, EncryptedBlockNode, Node
+from repro.xmldb.node import (
+    Attribute,
+    Element,
+    EncryptedBlockNode,
+    Node,
+    iter_encrypted_blocks,
+)
 from repro.xmldb.serializer import serialize
 
 
@@ -165,6 +172,11 @@ class Server:
         #: window are rejected exactly as before — the window bounds how
         #: far back a replayed request can probe.
         self.freshness_window = 0
+        #: Access-pattern leakage tier; ``None`` (the default) keeps the
+        #: evaluated path untouched.  See :meth:`attach_leakage`.
+        self.leakage: "LeakageContext | None" = None
+        self._leakage_observer = "server"
+        self._universe_cache: "tuple[int, tuple[int, ...]] | None" = None
 
     @property
     def backend(self) -> str:
@@ -257,12 +269,68 @@ class Server:
         self._check_epoch()
         result = self._match(query)
         roots = self._fragment_roots(result.ship_entries)
+        self._observe_leakage(roots)
         fragments = self._make_fragments(roots)
         return ServerResponse(
             fragments=fragments,
             blocks_shipped=self._count_blocks(roots),
             candidate_counts=result.candidate_counts,
         )
+
+    # ------------------------------------------------------------------
+    # Access-pattern leakage tier
+    # ------------------------------------------------------------------
+    def attach_leakage(
+        self, context: LeakageContext, observer: str = "server"
+    ) -> None:
+        """Join this server to a system-wide leakage context.
+
+        ``observer`` names this server's vantage point in the recorded
+        traces ("server" for the monolith, "shard<N>" for cluster
+        shards — every replica of one shard shares the name, so the
+        trace stream is per-shard regardless of which replica served).
+        """
+        self.leakage = context
+        self._leakage_observer = observer
+
+    def _leakage_universe(self) -> tuple[int, ...]:
+        """Sorted block-id population decoy fetches may draw from.
+
+        The monolith can be asked for any stored block; cluster shards
+        override this with their placement slice.  Cached per epoch —
+        updates add and remove blocks.
+        """
+        cached = self._universe_cache
+        epoch = self._hosted.epoch
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        universe = tuple(sorted(self._hosted.blocks))
+        self._universe_cache = (epoch, universe)
+        return universe
+
+    def _observe_leakage(self, roots: list[Node]) -> None:
+        """Record (and pad/decoy) one evaluated query's fetch trace.
+
+        Called once per *evaluation* — warm wire/stream cache hits
+        replay sealed bytes without touching storage, so they add no
+        trace, exactly as a storage-level observer would see it.
+        """
+        context = self.leakage
+        if context is None:
+            return
+        real = [
+            block.block_id
+            for root in roots
+            for block in iter_encrypted_blocks(root)
+        ]
+        total = context.observe(
+            self._leakage_observer,
+            real,
+            self._leakage_universe(),
+            self._hosted.blocks.get,
+        )
+        if self._obs is not None and self._obs.enabled:
+            self._obs.metrics.observe("leakage_fetch_blocks", float(total))
 
     def _span(self, name: str):
         """Span for one server stage, under the caller's ambient span.
@@ -349,8 +417,18 @@ class Server:
 
     @staticmethod
     def _count_blocks(roots: list[Node]) -> int:
+        """Encrypted blocks inside the shipped subtrees (ground truth).
+
+        A fragment root is often a plaintext element with block
+        placeholders nested somewhere below it; counting only roots that
+        *are* placeholders undercounted those, so ``blocks_shipped``
+        disagreed with what actually crossed the wire.  Walk each
+        subtree instead — the same walk the client decrypts by.
+        """
         return sum(
-            1 for node in roots if isinstance(node, EncryptedBlockNode)
+            1
+            for root in roots
+            for _ in iter_encrypted_blocks(root)
         )
 
     # ------------------------------------------------------------------
@@ -362,7 +440,7 @@ class Server:
         return ServerResponse(
             fragments=[fragment],
             naive=True,
-            blocks_shipped=len(self._placeholders),
+            blocks_shipped=self._count_blocks([self._hosted_root]),
         )
 
     # ------------------------------------------------------------------
@@ -437,6 +515,7 @@ class Server:
 
         result = self._match(translated)
         roots = self._fragment_roots(result.ship_entries)
+        self._observe_leakage(roots)
         runs = list(iter_chunks(roots, chunk_fragments))
         emitted: list[bytes] = []
 

@@ -29,6 +29,7 @@ from repro.core.integrity import (
     RollbackDetectedError,
     TamperedResponseError,
 )
+from repro.core.leakage import LeakageContext
 from repro.core.parallel import ParallelConfig, WorkerPool
 from repro.core.scheme import EncryptionScheme, build_scheme
 from repro.core.server import Server, ServerResponse
@@ -204,6 +205,7 @@ class SecureXMLSystem:
         cluster: "object | None" = None,
         cluster_faults: "object | None" = None,
         backend: "str | None" = None,
+        leakage: "object | None" = None,
     ) -> None:
         self.client = client
         self.server = server
@@ -267,6 +269,16 @@ class SecureXMLSystem:
                 faults=cluster_faults,
                 backend=self.backend,
             )
+        # Access-pattern leakage tier (see repro.core.leakage): one
+        # context shared by the monolithic server and every shard
+        # replica, so the attacker harness and the countermeasures see
+        # one policy and one recorder.  ``None`` (with REPRO_LEAKAGE
+        # unset) leaves every path exactly as before.
+        self.leakage = LeakageContext.coerce(leakage)
+        if self.leakage is not None:
+            server.attach_leakage(self.leakage, observer="server")
+            if self._coordinator is not None:
+                self._coordinator.attach_leakage(self.leakage)
 
     # ------------------------------------------------------------------
     # Hosting
@@ -287,6 +299,7 @@ class SecureXMLSystem:
         cluster: "object | None" = None,
         cluster_faults: "object | None" = None,
         backend: "str | None" = None,
+        leakage: "object | None" = None,
     ) -> "SecureXMLSystem":
         """Encrypt ``document`` under the given scheme and stand up a system.
 
@@ -331,6 +344,15 @@ class SecureXMLSystem:
         ``"columnar"`` sweeps flat plane arrays.  Answers are
         byte-identical either way — the backend changes the
         representation the join runs over, never the result.
+
+        ``leakage`` enables the access-pattern leakage tier (see
+        :meth:`~repro.core.leakage.LeakageContext.coerce`): ``None``
+        reads ``REPRO_LEAKAGE`` (unset → tier off, zero overhead),
+        ``True`` the full countermeasure set, a string a policy spec
+        like ``"pad=8,decoys=16,shuffle=1"``, or a
+        :class:`~repro.core.leakage.LeakagePolicy`/``LeakageContext``
+        directly.  Countermeasures run strictly below the wire, so
+        answers stay byte-identical with any policy.
         """
         from repro.xmldb.serializer import serialize
 
@@ -379,6 +401,7 @@ class SecureXMLSystem:
             observability=observability,
             cluster=cluster,
             cluster_faults=cluster_faults,
+            leakage=leakage,
         )
 
     def observability(self) -> Observability:

@@ -68,12 +68,19 @@ HISTOGRAMS: dict[str, str] = {
     # decision, so the distribution shows how full the bounded in-flight
     # queue runs under load.
     "serving_queue_depth": "In-flight queue depth sampled at admission.",
+    # Unitless count (block fetches, not seconds) — one sample per
+    # evaluated query and observer, so the distribution shows how well
+    # padding flattens per-query fetch counts (real + decoy + pad).
+    "leakage_fetch_blocks": "Block fetches one evaluated query drove.",
 }
 
 #: Per-histogram bucket overrides for unitless metrics whose values do
 #: not fit the log-spaced seconds scale.
 HISTOGRAM_BUCKETS: dict[str, tuple[float, ...]] = {
     "serving_queue_depth": (
+        0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+    ),
+    "leakage_fetch_blocks": (
         0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
     ),
 }

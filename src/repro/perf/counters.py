@@ -130,6 +130,25 @@ class PerfCounters:
     #: Graceful drains completed (in-flight finished, caches flushed,
     #: storage fsynced).
     serving_drains: int = 0
+    # --- access-pattern leakage tier (trace recorder / countermeasures) ---
+    # Deliberately *not* named ``*_cache_hits``: decoy and padding
+    # fetches are cover traffic, not cache traffic, and must never
+    # register as a cache layer or skew ``hit_rate()`` — the warm-path
+    # hit rates keep describing real work with any LeakagePolicy on.
+    #: Block fetches the evaluated answers actually required.
+    leakage_real_fetches: int = 0
+    #: Decoy block fetches injected by the policy's seeded stream.
+    leakage_decoy_fetches: int = 0
+    #: Padding fetches added to round trace lengths up to the bucket.
+    leakage_pad_fetches: int = 0
+    #: Ciphertext bytes read for real fetches (the overhead denominator).
+    leakage_real_bytes: int = 0
+    #: Ciphertext bytes read for decoy + padding fetches (the numerator).
+    leakage_extra_bytes: int = 0
+    #: Scatter fan-outs issued in shuffled order.
+    leakage_shuffled_scatters: int = 0
+    #: Observed traces appended to the recorder.
+    leakage_traces_recorded: int = 0
 
     def add(self, name: str, amount: int = 1) -> None:
         """Thread-safe increment (the only mutation hot paths may use)."""

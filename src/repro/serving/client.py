@@ -541,6 +541,10 @@ def remote_system(
         observability=observability,
         cluster=False,  # never coordinator-side: the far end shards, not us
         backend=local.backend,
+        # Never client-side either: decoy/padding fetches happen where
+        # the storage is — the served tenant system — and REPRO_LEAKAGE
+        # must not make this proxy try to attach a tier to RemoteServer.
+        leakage=False,
     )
     remote._connection = connection
     return remote

@@ -165,7 +165,7 @@ class ClusterGateway:
         counters.add("cluster_scatters")
         trace = QueryTrace(query="<serving>")
         partials = []
-        for replica_set in coordinator.replica_sets:
+        for replica_set in coordinator.scatter_order():
             sealed, _ = replica_set.exchange(
                 request_blob,
                 trace,

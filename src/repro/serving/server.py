@@ -413,11 +413,24 @@ class TenantSession:
             )
         with self._counts_lock:
             ops = dict(self.op_counts)
+        leakage = self.system.leakage
         payload = json.dumps(
             {
                 "tenant": self.tenant_id,
                 "epoch": self.system.hosted.epoch,
                 "ops": ops,
+                # Access-pattern countermeasure knobs this tenant serves
+                # under (absent tier reported as all-off) — operators
+                # audit the front door's posture through the same sealed
+                # stats op the rest of the metadata uses.
+                "leakage": {
+                    "pad_to": leakage.policy.pad_to if leakage else 0,
+                    "decoys": leakage.policy.decoys if leakage else 0,
+                    "shuffle": bool(
+                        leakage.policy.shuffle if leakage else False
+                    ),
+                    "traces": len(leakage.recorder) if leakage else 0,
+                },
             },
             sort_keys=True,
         ).encode("utf-8")

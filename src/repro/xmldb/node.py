@@ -331,6 +331,20 @@ class EncryptedBlockNode(Node):
         return f"<EncryptedBlock id={self.block_id} bytes={len(self.payload)}>"
 
 
+def iter_encrypted_blocks(node: Node) -> Iterator[EncryptedBlockNode]:
+    """Yield every :class:`EncryptedBlockNode` in ``node``'s subtree.
+
+    Includes ``node`` itself when it is a block placeholder, in document
+    (pre-) order.  This is the one shared definition of "blocks inside a
+    shipped subtree": the server's ``blocks_shipped`` accounting, the
+    client's placeholder decryption and the access-pattern trace recorder
+    must all count the same set or the leakage harness keys off a lie.
+    """
+    for candidate in node.iter():
+        if isinstance(candidate, EncryptedBlockNode):
+            yield candidate
+
+
 class Document:
     """A rooted XML document with stable document-order node numbering.
 

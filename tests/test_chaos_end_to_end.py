@@ -132,11 +132,13 @@ class TestFaultSweep:
 
 
 class TestDeterminism:
-    def run_once(self, document, constraints, seed):
+    def run_once(self, document, constraints, seed, **host_kwargs):
         policy = FaultPolicy.symmetric(
             seed=seed, drop=0.2, corrupt=0.2, truncate=0.1
         )
-        system = host_with_faults(document, constraints, policy)
+        system = host_with_faults(
+            document, constraints, policy, **host_kwargs
+        )
         outcomes = []
         for query in QUERIES:
             try:
@@ -161,6 +163,30 @@ class TestDeterminism:
         first = self.run_once(healthcare_doc, healthcare_scs, seed=11)
         second = self.run_once(healthcare_doc, healthcare_scs, seed=12)
         assert first[0] != second[0]
+
+    def test_fault_schedule_unchanged_by_fetch_countermeasures(
+        self, healthcare_doc, healthcare_scs
+    ):
+        """Padding/decoy fetches stay below the wire.
+
+        Cover traffic reads ciphertext the server already stores — it
+        must consume nothing from the fault schedule's stream, so the
+        same seed replays the exact same faults and outcomes with the
+        countermeasures on.  Scatter *shuffle* is deliberately off here:
+        it legitimately reorders cluster transfers, which a transfer-
+        order-keyed schedule is allowed to see; its determinism is
+        covered in test_leakage.py.
+        """
+        from repro.core.leakage import LeakagePolicy
+
+        plain = self.run_once(healthcare_doc, healthcare_scs, seed=11)
+        padded = self.run_once(
+            healthcare_doc,
+            healthcare_scs,
+            seed=11,
+            leakage=LeakagePolicy(pad_to=8, decoys=8),
+        )
+        assert plain == padded
 
 
 class TestWireTampering:
