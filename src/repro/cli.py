@@ -348,6 +348,20 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Print the compiled plan for a query — no hosting, no round-trip.
+
+    Shows which tier the planner picked (twig / axis / residual), why
+    the faster tiers were rejected, and the pattern tree with ship-set
+    and positional markers.  Purely client-side: nothing is hosted and
+    no server is contacted.
+    """
+    from repro.xpath.plan import explain_plan
+
+    print(explain_plan(args.xpath))
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     from repro.workloads.queries import QueryWorkload
 
@@ -615,6 +629,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(trace)
     trace.add_argument("xpath", help="the XPath query to trace")
     trace.set_defaults(handler=cmd_trace)
+
+    explain = subparsers.add_parser(
+        "explain", help="print a query's compiled plan (no round-trip)"
+    )
+    explain.add_argument("xpath", help="the XPath query to explain")
+    explain.set_defaults(handler=cmd_explain)
 
     stats = subparsers.add_parser(
         "stats", help="run a workload, export observability stats"

@@ -355,6 +355,18 @@ class ClusterCoordinator:
         the parent interval) plus the owner of each ancestor entry's
         group (a fragment root containing the change is the entry or an
         ancestor; no other entry can contain it).
+
+        Axis engine note: reverse/order/sibling edges let a change here
+        flip the *selection* of roots owned by shards far outside this
+        set — but selection is never cached per shard.  The per-shard
+        epoch guards only fragment *content* (a fragment's bytes depend
+        on its subtree and ancestor path alone, both inside this set),
+        while everything selection-dependent — the sealed wire/stream
+        caches and the derived join inputs — tracks the *global* commit
+        epoch, which every update moves (see
+        :meth:`ShardServer._check_epoch <repro.cluster.shard.ShardServer._check_epoch>`).
+        Widening the bump to axis reach would re-flush warm fragment
+        caches across the whole parent span for no soundness gain.
         """
         affected = self.placement.shards_overlapping(
             entry.interval.low, entry.interval.high

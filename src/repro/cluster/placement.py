@@ -153,6 +153,13 @@ class PlacementMap:
         Group ``g`` covers ``[cut[g], cut[g+1])``; the range intersects
         groups ``group_of(low) .. group_of(high)`` inclusive (the
         cutpoints are sorted), so this is a contiguous slice.
+
+        This is also the update router's reachability primitive:
+        descendant reach is the entry's own span (laminarity).  Axis
+        reach (sibling, following/preceding, ancestor) is deliberately
+        *not* expressed here — selection-dependent state is gated on the
+        global epoch, never on per-shard ownership, so the router only
+        needs containment reach (see ``Coordinator.invalidate_entry``).
         """
         first = self.group_of_low(low)
         last = self.group_of_low(high)

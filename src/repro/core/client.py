@@ -51,9 +51,11 @@ from repro.xmldb.node import (
 from repro.xmldb.parser import ENCRYPTED_DATA_TAG, parse_fragment
 from repro.xmldb.serializer import serialize
 from repro.xpath import ast
-from repro.xpath.compiler import UnsupportedQuery, compile_pattern
+from repro.xpath.axes import residual_pattern
+from repro.xpath.compiler import UnsupportedQuery
 from repro.xpath.evaluator import evaluate
 from repro.xpath.parser import parse_xpath
+from repro.xpath.plan import QueryPlan, plan_query
 
 
 @dataclass
@@ -164,11 +166,15 @@ class Client:
     # Query translation (§6.1)
     # ------------------------------------------------------------------
     def translate(self, query: "str | ast.LocationPath") -> TranslatedQuery:
-        """Translate a query; raises UnsupportedQuery for the naive path.
+        """Translate a query to its server-side plan.
 
-        String queries hit the plan cache first: a repeated XPath under
-        an unchanged scheme epoch reuses the previously translated
-        ``Qs`` without re-deriving tokens or key ranges.
+        Every parseable query now gets one: the planner picks the legacy
+        twig lowering, the axis engine, or the residual document-root
+        plan (``TranslatedQuery.plan_kind`` records which, and
+        ``plan_reason`` why).  String queries hit the plan cache first: a
+        repeated XPath under an unchanged scheme epoch reuses the
+        previously translated ``Qs`` without re-deriving tokens or key
+        ranges.
         """
         if self._plan_cache is not None and isinstance(query, str):
             epoch = self._hosted.epoch
@@ -183,8 +189,23 @@ class Client:
         self, query: "str | ast.LocationPath"
     ) -> TranslatedQuery:
         path = query if isinstance(query, ast.LocationPath) else parse_xpath(query)
-        pattern = compile_pattern(path)
-        return self._translator.translate(pattern)
+        plan = plan_query(path)
+        try:
+            translated = self._translator.translate(plan.pattern)
+        except UnsupportedQuery as exc:
+            if plan.kind == "residual":
+                raise  # the residual pattern always translates
+            # e.g. a value constraint on a wildcard node: degrade to the
+            # residual plan rather than the naive protocol.
+            plan = QueryPlan(
+                kind="residual",
+                pattern=residual_pattern(),
+                reason=str(exc),
+            )
+            translated = self._translator.translate(plan.pattern)
+        translated.plan_kind = plan.kind
+        translated.plan_reason = plan.reason
+        return translated
 
     # ------------------------------------------------------------------
     # Wire envelope (untrusted-server hardening)

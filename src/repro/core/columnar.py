@@ -518,6 +518,91 @@ def sweep_descendant(
     return kept
 
 
+def _low_inside(sorted_lows: Any, low: float, high: float) -> bool:
+    """Any match low strictly inside (low, high)?  Laminar shortcut."""
+    left = bisect_right(sorted_lows, low)
+    return left < len(sorted_lows) and sorted_lows[left] < high
+
+
+def sweep_following(
+    candidate_ids: "Iterable[int]",
+    lows: Any,
+    highs: Any,
+    threshold: float,
+) -> list[int]:
+    """Keep candidates whose high bound exceeds ``threshold``.
+
+    The relaxed *following* test of the axis engine
+    (:func:`repro.xpath.axes.can_follow`) over the planes.  Candidate
+    runs are low-sorted per tag segment, so once a segment's lows cross
+    the threshold every remaining member bulk-passes (``high > low >
+    threshold``) without touching the highs plane — the sibling of
+    :func:`sweep_descendant`'s forward-only galloping probe.
+    """
+    kept: list[int] = []
+    append = kept.append
+    previous = float("-inf")
+    bulk = False
+    for entry_id in candidate_ids:
+        low = lows[entry_id]
+        if low < previous:
+            bulk = False  # new per-tag segment: candidate lows restarted
+        previous = low
+        if bulk or low > threshold:
+            bulk = True
+            append(entry_id)
+        elif highs[entry_id] > threshold:
+            append(entry_id)
+    return kept
+
+
+def sweep_preceding(
+    candidate_ids: "Iterable[int]",
+    lows: Any,
+    threshold: float,
+) -> list[int]:
+    """Keep candidates whose low bound undercuts ``threshold``.
+
+    The relaxed *preceding* test
+    (:func:`repro.xpath.axes.can_precede`); the low plane alone decides
+    it, so this is a single vectorized comparison pass.
+    """
+    return [
+        entry_id
+        for entry_id in candidate_ids
+        if lows[entry_id] < threshold
+    ]
+
+
+def sweep_siblings(
+    candidate_ids: "Iterable[int]",
+    lows: Any,
+    highs: Any,
+    parents: Any,
+    bounds_by_parent: "dict[int, tuple[float, float]]",
+    following: bool,
+) -> list[int]:
+    """Sibling-axis sweep: the order test scoped per parent id.
+
+    ``bounds_by_parent`` maps a parent entry id to the anchor set's
+    ``(min low, max high)`` among its children; candidates whose parent
+    has no anchor sibling drop immediately.
+    """
+    kept: list[int] = []
+    append = kept.append
+    get = bounds_by_parent.get
+    for entry_id in candidate_ids:
+        bounds = get(int(parents[entry_id]))
+        if bounds is None:
+            continue
+        if following:
+            if highs[entry_id] > bounds[0]:
+                append(entry_id)
+        elif lows[entry_id] < bounds[1]:
+            append(entry_id)
+    return kept
+
+
 # ----------------------------------------------------------------------
 # The columnar twig matcher
 # ----------------------------------------------------------------------
@@ -660,13 +745,19 @@ class _ColumnarMatcher:
         ordered: dict[int, list[int]] = {id(query.root): root_matches}
         self._prune_down(query.root, root_matches, survivors, ordered)
 
+        ship_ids: list[int] = []
+        shipped: set[int] = set()
+        for ship_node in query.ship_nodes:
+            for entry_id in ordered.get(id(ship_node), []):
+                if entry_id not in shipped:
+                    shipped.add(entry_id)
+                    ship_ids.append(entry_id)
+
         return MatchResult(
             output_entries=self._materialize(
                 ordered.get(id(query.output), [])
             ),
-            ship_entries=self._materialize(
-                ordered.get(id(query.ship_node), [])
-            ),
+            ship_entries=self._materialize(ship_ids),
             candidate_counts=dict(self._counts),
         )
 
@@ -680,6 +771,10 @@ class _ColumnarMatcher:
 
         for child in node.children:
             child_matches = self._match_subtree(child)
+            if node.position_sensitive:
+                # Mirror of the object matcher: positional nodes keep
+                # their complete candidate list for the client's [n].
+                continue
             if not child_matches:
                 candidates = []
                 break
@@ -757,6 +852,57 @@ class _ColumnarMatcher:
         if axis in ("descendant", "attribute-descendant"):
             match_lows = self._descendant_lows(child, child_matches)
             return self._sweep(candidates, match_lows)
+        # Axis-engine edges (inverse tests; mirrors the object matcher).
+        if axis == "self":
+            match_set = set(child_matches)
+            return self._filter(candidates, match_set.__contains__)
+        if axis == "descendant-or-self":
+            match_set = set(child_matches)
+            match_lows = self._descendant_lows(child, child_matches)
+            lows = planes.lows
+            highs = planes.highs
+            return self._filter(
+                candidates,
+                lambda entry_id: entry_id in match_set
+                or _low_inside(match_lows, lows[entry_id], highs[entry_id]),
+            )
+        if axis == "parent":
+            match_set = set(child_matches)
+            parents = planes.parents
+            return self._filter(
+                candidates,
+                lambda entry_id: parents[entry_id] != _NO_ID
+                and int(parents[entry_id]) in match_set,
+            )
+        if axis in ("ancestor", "ancestor-or-self"):
+            match_set = set(child_matches)
+            or_self = axis == "ancestor-or-self"
+            return self._filter(
+                candidates,
+                lambda entry_id: (or_self and entry_id in match_set)
+                or self._has_surviving_ancestor(entry_id, match_set),
+            )
+        if axis in ("following", "preceding"):
+            bounds = self._order_bounds(child_matches)
+            if bounds is None:
+                return []
+            min_low, max_high = bounds
+            if axis == "following":
+                # candidate must be able to precede some match
+                return sweep_preceding(candidates, planes.lows, max_high)
+            return sweep_following(
+                candidates, planes.lows, planes.highs, min_low
+            )
+        if axis in ("following-sibling", "preceding-sibling"):
+            bounds_by_parent = self._sibling_bounds(child_matches)
+            return sweep_siblings(
+                candidates,
+                planes.lows,
+                planes.highs,
+                planes.parents,
+                bounds_by_parent,
+                following=axis == "preceding-sibling",
+            )
         raise ValueError(f"unexpected pattern axis {axis!r}")
 
     def _descendant_lows(
@@ -813,27 +959,125 @@ class _ColumnarMatcher:
         survivors: dict[int, set[int]],
         ordered: dict[int, list[int]],
     ) -> None:
-        planes = self._planes
         parent_ids = set(node_survivors)
         for child in node.children:
             child_matches = self._match_sets.get(id(child), [])
-            axis = child.axis
-            if axis in ("child", "attribute"):
-                surviving = self._filter(
-                    child_matches,
-                    lambda entry_id: planes.parents[entry_id] != _NO_ID
-                    and planes.parents[entry_id] in parent_ids,
-                )
-            else:
-                surviving = self._filter(
-                    child_matches,
-                    lambda entry_id: self._has_surviving_ancestor(
-                        entry_id, parent_ids
-                    ),
-                )
+            surviving = self._prune_child(
+                child, child_matches, node_survivors, parent_ids
+            )
             survivors[id(child)] = set(surviving)
             ordered[id(child)] = surviving
             self._prune_down(child, surviving, survivors, ordered)
+
+    def _prune_child(
+        self,
+        child: TranslatedNode,
+        child_matches: list[int],
+        node_survivors: list[int],
+        parent_ids: set[int],
+    ) -> list[int]:
+        """Forward-axis prune; mirrors the object matcher's dispatch."""
+        planes = self._planes
+        axis = child.axis
+        if axis in ("child", "attribute"):
+            return self._filter(
+                child_matches,
+                lambda entry_id: planes.parents[entry_id] != _NO_ID
+                and planes.parents[entry_id] in parent_ids,
+            )
+        if axis in ("descendant", "attribute-descendant"):
+            return self._filter(
+                child_matches,
+                lambda entry_id: self._has_surviving_ancestor(
+                    entry_id, parent_ids
+                ),
+            )
+        if axis == "self":
+            return self._filter(child_matches, parent_ids.__contains__)
+        if axis == "descendant-or-self":
+            return self._filter(
+                child_matches,
+                lambda entry_id: entry_id in parent_ids
+                or self._has_surviving_ancestor(entry_id, parent_ids),
+            )
+        if axis == "parent":
+            parents = planes.parents
+            image = {
+                int(parents[survivor])
+                for survivor in node_survivors
+            }
+            image.discard(_NO_ID)
+            return self._filter(child_matches, image.__contains__)
+        if axis in ("ancestor", "ancestor-or-self"):
+            lows = planes.lows
+            highs = planes.highs
+            survivor_lows = sorted(
+                lows[survivor] for survivor in node_survivors
+            )
+            or_self = axis == "ancestor-or-self"
+            return self._filter(
+                child_matches,
+                lambda entry_id: (or_self and entry_id in parent_ids)
+                or _low_inside(
+                    survivor_lows, lows[entry_id], highs[entry_id]
+                ),
+            )
+        if axis in ("following", "preceding"):
+            bounds = self._order_bounds(node_survivors)
+            if bounds is None:
+                return []
+            min_low, max_high = bounds
+            if axis == "following":
+                return sweep_following(
+                    child_matches, planes.lows, planes.highs, min_low
+                )
+            return sweep_preceding(child_matches, planes.lows, max_high)
+        if axis in ("following-sibling", "preceding-sibling"):
+            bounds_by_parent = self._sibling_bounds(node_survivors)
+            return sweep_siblings(
+                child_matches,
+                planes.lows,
+                planes.highs,
+                planes.parents,
+                bounds_by_parent,
+                following=axis == "following-sibling",
+            )
+        raise ValueError(f"unexpected pattern axis {axis!r}")
+
+    def _order_bounds(
+        self, entry_ids: list[int]
+    ) -> "tuple[float, float] | None":
+        """(min low, max high) over an id set — the order thresholds."""
+        if not entry_ids:
+            return None
+        lows = self._planes.lows
+        highs = self._planes.highs
+        return (
+            min(lows[entry_id] for entry_id in entry_ids),
+            max(highs[entry_id] for entry_id in entry_ids),
+        )
+
+    def _sibling_bounds(
+        self, entry_ids: list[int]
+    ) -> dict[int, tuple[float, float]]:
+        """Per-parent (min low, max high) over an id set."""
+        planes = self._planes
+        lows = planes.lows
+        highs = planes.highs
+        parents = planes.parents
+        bounds: dict[int, tuple[float, float]] = {}
+        for entry_id in entry_ids:
+            parent = int(parents[entry_id])
+            low = lows[entry_id]
+            high = highs[entry_id]
+            current = bounds.get(parent)
+            if current is None:
+                bounds[parent] = (low, high)
+            else:
+                bounds[parent] = (
+                    min(current[0], low), max(current[1], high)
+                )
+        return bounds
 
     def _has_surviving_ancestor(
         self, entry_id: int, ancestor_ids: set[int]

@@ -17,7 +17,10 @@ sorted lists.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.dsi import IndexEntry
+from repro.xpath.axes import order_bounds, sibling_bounds
 
 
 def stack_tree_desc(
@@ -79,6 +82,94 @@ def join_descendants(
         sorted(kept_ancestors.values(), key=lambda e: e.interval.low),
         sorted(kept_descendants.values(), key=lambda e: e.interval.low),
     )
+
+
+def entry_order_bounds(
+    entries: list[IndexEntry],
+) -> Optional[tuple[float, float]]:
+    """``(min low, max high)`` of an anchor set, for order-axis joins.
+
+    The axis engine's *following*/*preceding* semi-joins reduce to two
+    scalar thresholds over the anchor side (see the interval-algebra
+    table in :mod:`repro.xpath.axes`): an entry can follow some anchor
+    iff its high bound exceeds the anchors' minimum low, and can precede
+    some anchor iff its low bound undercuts the anchors' maximum high.
+    """
+    return order_bounds(
+        (entry.interval.low, entry.interval.high) for entry in entries
+    )
+
+
+def entry_sibling_bounds(
+    entries: list[IndexEntry],
+) -> dict[object, tuple[float, float]]:
+    """Per-parent ``(min low, max high)`` of an anchor set.
+
+    The sibling-axis semi-joins are the order-axis thresholds scoped to
+    one parent; parents are keyed by object identity (the laminar forest
+    owns one entry object per node), with ``None`` for forest roots.
+    """
+    return sibling_bounds(
+        (
+            id(entry.parent) if entry.parent is not None else None,
+            entry.interval.low,
+            entry.interval.high,
+        )
+        for entry in entries
+    )
+
+
+def join_following(
+    anchors: list[IndexEntry],
+    candidates: list[IndexEntry],
+) -> list[IndexEntry]:
+    """Candidates that can *follow* at least one anchor (relaxed form).
+
+    Entries are grouped intervals, so the exact disjoint-after test
+    widens to ``candidate.high > min(anchor.low)`` — sound as a
+    superset, like every other server-side axis test.  Order-preserving
+    over ``candidates``.
+    """
+    bounds = entry_order_bounds(anchors)
+    if bounds is None:
+        return []
+    min_low, _ = bounds
+    return [c for c in candidates if c.interval.high > min_low]
+
+
+def join_preceding(
+    anchors: list[IndexEntry],
+    candidates: list[IndexEntry],
+) -> list[IndexEntry]:
+    """Candidates that can *precede* at least one anchor (relaxed form)."""
+    bounds = entry_order_bounds(anchors)
+    if bounds is None:
+        return []
+    _, max_high = bounds
+    return [c for c in candidates if c.interval.low < max_high]
+
+
+def join_siblings(
+    anchors: list[IndexEntry],
+    candidates: list[IndexEntry],
+    direction: str = "following",
+) -> list[IndexEntry]:
+    """Sibling-axis semi-join: same parent plus the order threshold."""
+    bounds_by_parent = entry_sibling_bounds(anchors)
+    kept: list[IndexEntry] = []
+    for candidate in candidates:
+        key = (
+            id(candidate.parent) if candidate.parent is not None else None
+        )
+        bounds = bounds_by_parent.get(key)
+        if bounds is None:
+            continue
+        if direction == "following":
+            if candidate.interval.high > bounds[0]:
+                kept.append(candidate)
+        elif candidate.interval.low < bounds[1]:
+            kept.append(candidate)
+    return kept
 
 
 def join_children(

@@ -17,9 +17,16 @@ Axis tests are pure interval geometry: *descendant* is strict containment
 (checked against a sorted low-bound array with binary search), and *child*
 uses the precomputed immediate-parent pointers — the paper's
 ``child(x,y) ⇔ desc(x,y) ∧ ¬∃z …`` definition materialized once per index.
-The matching is sound-as-superset: grouped intervals can only widen match
-sets, never lose a real match, and the client restores exactness in
-post-processing.
+The axis engine (:mod:`repro.xpath.axes`) extends the edge vocabulary:
+upward edges run on the same parent pointers in the other direction, and
+order/sibling edges run on threshold forms of the interval order
+relations (see the table in that module), computed per edge by the
+semi-joins in :mod:`repro.core.stack_join`.  The matching is
+sound-as-superset: grouped intervals and relaxed order thresholds can
+only widen match sets, never lose a real match, and the client restores
+exactness in post-processing.  Nodes translated from positional steps
+(``position_sensitive``) skip bottom-up pruning entirely so the client
+receives the complete per-parent candidate list to index into.
 
 **Sharded evaluation.**  Every pruning step is a pure, order-preserving
 filter over an interval-sorted candidate list, so a worker pool can
@@ -38,7 +45,9 @@ from dataclasses import dataclass, field
 from repro.core.dsi import IndexEntry, StructuralIndex
 from repro.core.opess import ValueIndex
 from repro.core.parallel import WorkerPool, filter_shards
+from repro.core.stack_join import entry_order_bounds, entry_sibling_bounds
 from repro.core.translate import TranslatedNode, TranslatedQuery
+from repro.xpath.axes import can_follow, can_precede
 from repro.xpath.evaluator import compare_values
 
 
@@ -110,9 +119,17 @@ class _Matcher:
         }
         self._prune_down(query.root, root_matches, survivors, ordered_survivors)
 
+        ship_entries: list[IndexEntry] = []
+        shipped: set[int] = set()
+        for ship_node in query.ship_nodes:
+            for entry in ordered_survivors.get(id(ship_node), []):
+                if id(entry) not in shipped:
+                    shipped.add(id(entry))
+                    ship_entries.append(entry)
+
         return MatchResult(
             output_entries=ordered_survivors.get(id(query.output), []),
-            ship_entries=ordered_survivors.get(id(query.ship_node), []),
+            ship_entries=ship_entries,
             candidate_counts=dict(self._counts),
         )
 
@@ -126,6 +143,12 @@ class _Matcher:
 
         for child in node.children:
             child_matches = self._match_subtree(child)
+            if node.position_sensitive:
+                # The client indexes [n]/last() into this node's
+                # candidate list: it must stay complete per parent, so
+                # no bottom-up narrowing (children still match above
+                # for their own top-down phase).
+                continue
             if not child_matches:
                 candidates = []
                 break
@@ -199,6 +222,73 @@ class _Matcher:
             return self._filter(
                 candidates, lambda entry: _has_low_inside(lows, entry)
             )
+        # Axis-engine edges: filter the parent's candidates by the
+        # *inverse* relation against the child's match set.
+        if axis == "self":
+            match_ids = _id_set(child_matches)
+            return self._filter(
+                candidates, lambda entry: id(entry) in match_ids
+            )
+        if axis == "descendant-or-self":
+            match_ids = _id_set(child_matches)
+            lows = self._descendant_lows(child, child_matches)
+            return self._filter(
+                candidates,
+                lambda entry: id(entry) in match_ids
+                or _has_low_inside(lows, entry),
+            )
+        if axis == "parent":
+            match_ids = _id_set(child_matches)
+            return self._filter(
+                candidates,
+                lambda entry: entry.parent is not None
+                and id(entry.parent) in match_ids,
+            )
+        if axis in ("ancestor", "ancestor-or-self"):
+            match_ids = _id_set(child_matches)
+            or_self = axis == "ancestor-or-self"
+            return self._filter(
+                candidates,
+                lambda entry: (or_self and id(entry) in match_ids)
+                or self._has_surviving_ancestor(entry, match_ids),
+            )
+        if axis in ("following", "preceding"):
+            bounds = entry_order_bounds(child_matches)
+            if bounds is None:
+                return []
+            min_low, max_high = bounds
+            if axis == "following":
+                # some match can follow the candidate ⇔ candidate can
+                # precede some match
+                return self._filter(
+                    candidates,
+                    lambda entry: can_precede(
+                        entry.interval.low, entry.interval.high, max_high
+                    ),
+                )
+            return self._filter(
+                candidates,
+                lambda entry: can_follow(
+                    entry.interval.low, entry.interval.high, min_low
+                ),
+            )
+        if axis in ("following-sibling", "preceding-sibling"):
+            bounds_by_parent = entry_sibling_bounds(child_matches)
+            following = axis == "following-sibling"
+
+            def sibling_ok(entry: IndexEntry) -> bool:
+                bounds = bounds_by_parent.get(_parent_key(entry))
+                if bounds is None:
+                    return False
+                if following:
+                    return can_precede(
+                        entry.interval.low, entry.interval.high, bounds[1]
+                    )
+                return can_follow(
+                    entry.interval.low, entry.interval.high, bounds[0]
+                )
+
+            return self._filter(candidates, sibling_ok)
         raise ValueError(f"unexpected pattern axis {axis!r}")
 
     def _descendant_lows(
@@ -233,23 +323,100 @@ class _Matcher:
         parent_ids = _id_set(node_survivors)
         for child in node.children:
             child_matches = self._match_sets.get(id(child), [])
-            axis = child.axis
-            if axis in ("child", "attribute"):
-                surviving = self._filter(
-                    child_matches,
-                    lambda entry: entry.parent is not None
-                    and id(entry.parent) in parent_ids,
-                )
-            else:
-                surviving = self._filter(
-                    child_matches,
-                    lambda entry: self._has_surviving_ancestor(
-                        entry, parent_ids
-                    ),
-                )
+            surviving = self._prune_child(
+                child, child_matches, node_survivors, parent_ids
+            )
             survivors[id(child)] = _id_set(surviving)
             ordered[id(child)] = surviving
             self._prune_down(child, surviving, survivors, ordered)
+
+    def _prune_child(
+        self,
+        child: TranslatedNode,
+        child_matches: list[IndexEntry],
+        node_survivors: list[IndexEntry],
+        parent_ids: set[int],
+    ) -> list[IndexEntry]:
+        """Keep child matches related (forward axis) to a survivor."""
+        axis = child.axis
+        if axis in ("child", "attribute"):
+            return self._filter(
+                child_matches,
+                lambda entry: entry.parent is not None
+                and id(entry.parent) in parent_ids,
+            )
+        if axis in ("descendant", "attribute-descendant"):
+            return self._filter(
+                child_matches,
+                lambda entry: self._has_surviving_ancestor(
+                    entry, parent_ids
+                ),
+            )
+        if axis == "self":
+            return self._filter(
+                child_matches, lambda entry: id(entry) in parent_ids
+            )
+        if axis == "descendant-or-self":
+            return self._filter(
+                child_matches,
+                lambda entry: id(entry) in parent_ids
+                or self._has_surviving_ancestor(entry, parent_ids),
+            )
+        if axis == "parent":
+            image = {
+                id(entry.parent)
+                for entry in node_survivors
+                if entry.parent is not None
+            }
+            return self._filter(
+                child_matches, lambda entry: id(entry) in image
+            )
+        if axis in ("ancestor", "ancestor-or-self"):
+            lows = sorted(
+                entry.interval.low for entry in node_survivors
+            )
+            or_self = axis == "ancestor-or-self"
+            return self._filter(
+                child_matches,
+                lambda entry: (or_self and id(entry) in parent_ids)
+                or _has_low_inside(lows, entry),
+            )
+        if axis in ("following", "preceding"):
+            bounds = entry_order_bounds(node_survivors)
+            if bounds is None:
+                return []
+            min_low, max_high = bounds
+            if axis == "following":
+                return self._filter(
+                    child_matches,
+                    lambda entry: can_follow(
+                        entry.interval.low, entry.interval.high, min_low
+                    ),
+                )
+            return self._filter(
+                child_matches,
+                lambda entry: can_precede(
+                    entry.interval.low, entry.interval.high, max_high
+                ),
+            )
+        if axis in ("following-sibling", "preceding-sibling"):
+            bounds_by_parent = entry_sibling_bounds(node_survivors)
+            following = axis == "following-sibling"
+
+            def sibling_ok(entry: IndexEntry) -> bool:
+                bounds = bounds_by_parent.get(_parent_key(entry))
+                if bounds is None:
+                    return False
+                if following:
+                    return can_follow(
+                        entry.interval.low, entry.interval.high, bounds[0]
+                    )
+                return can_precede(
+                    entry.interval.low, entry.interval.high, bounds[1]
+                )
+
+            return self._filter(child_matches, sibling_ok)
+        raise ValueError(f"unexpected pattern axis {axis!r}")
 
     @staticmethod
     def _has_surviving_ancestor(
@@ -273,6 +440,10 @@ class _Matcher:
 
 def _id_set(entries: list[IndexEntry]) -> set[int]:
     return {id(entry) for entry in entries}
+
+
+def _parent_key(entry: IndexEntry) -> "int | None":
+    return id(entry.parent) if entry.parent is not None else None
 
 
 def _has_low_inside(sorted_lows: list[float], entry: IndexEntry) -> bool:

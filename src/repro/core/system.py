@@ -121,6 +121,16 @@ class QueryTrace:
     drops: int = 0
     fell_back: bool = False
     backoff_s: float = 0.0
+    # --- query planning (axis engine) ---
+    #: Plan tier that served the query: ``"twig"`` (legacy pattern-tree
+    #: lowering), ``"axis"`` (interval-algebra axis engine),
+    #: ``"residual"`` (typed document-root plan), or ``"naive"`` when no
+    #: server-side plan could run at all.
+    plan: str = "twig"
+    #: Why the query left the twig fast path — the ``UnsupportedQuery``
+    #: (or ``ResidualRequired``) message, or a retry-exhaustion note for
+    #: a degraded query.  ``None`` while the twig plan serves.
+    fallback_reason: "str | None" = None
     # --- cluster (scatter–gather execution; zero on the monolithic path) ---
     cluster_shards: int = 0
     cluster_failovers: int = 0
@@ -167,6 +177,8 @@ class QueryTrace:
             "answers": self.answer_count,
             "retries": self.retries,
             "fell_back": self.fell_back,
+            "plan": self.plan,
+            "fallback_reason": self.fallback_reason,
         }
 
 
@@ -531,9 +543,18 @@ class SecureXMLSystem:
         with tracer.span("translate") as span:
             try:
                 translated = self.client.translate(xpath)
-            except UnsupportedQuery:
+            except UnsupportedQuery as exc:
+                # The planner's residual tier makes this near-unreachable
+                # (every parseable query gets *some* server-side plan),
+                # but the typed degrade stays: count it and record why.
                 translated = None
+                trace.plan = "naive"
+                trace.fallback_reason = str(exc)
+                counters.add("naive_fallbacks")
         trace.translate_client_s = span.finish()
+        if translated is not None:
+            trace.plan = translated.plan_kind
+            trace.fallback_reason = translated.plan_reason
 
         last_error: Exception | None = None
         if translated is not None:
@@ -582,6 +603,11 @@ class SecureXMLSystem:
                     f"{last_error}"
                 ) from last_error
             trace.fell_back = True
+            trace.plan = "naive"
+            trace.fallback_reason = (
+                f"retries exhausted after {trace.attempts} attempts: "
+                f"{last_error}"
+            )
             counters.add("naive_fallbacks")
 
         for attempt in range(policy.naive_attempts):

@@ -43,6 +43,10 @@ class TranslatedNode:
     plaintext_predicate: Optional[tuple[str, str]] = None
     is_output: bool = False
     is_ship_node: bool = False
+    #: the source step carried a positional predicate: the matchers must
+    #: not prune this node's own candidate list bottom-up (the client
+    #: needs the complete per-parent list to resolve ``[n]``/``last()``)
+    position_sensitive: bool = False
 
     @property
     def is_wildcard(self) -> bool:
@@ -78,6 +82,19 @@ class TranslatedQuery:
     root: TranslatedNode
     output: TranslatedNode
     ship_node: TranslatedNode
+    #: additional ship nodes for axis-engine plans: the server ships the
+    #: union of every ship node's surviving matches (its nested-fragment
+    #: drop deduplicates overlaps)
+    extra_ship_nodes: list[TranslatedNode] = field(default_factory=list)
+    #: which lowering produced this plan ("twig" | "axis" | "residual");
+    #: client-side metadata only — it never crosses the wire
+    plan_kind: str = "twig"
+    #: why the legacy twig lowering was bypassed, for explain/tracing
+    plan_reason: Optional[str] = None
+
+    @property
+    def ship_nodes(self) -> list[TranslatedNode]:
+        return [self.ship_node, *self.extra_ship_nodes]
 
     def wire_size(self) -> int:
         return self.root.wire_size()
@@ -151,9 +168,19 @@ class QueryTranslator:
         mapping: dict[int, TranslatedNode] = {}
         root = self._translate_node(pattern.roots[0], mapping)
         output = mapping[id(pattern.output)]
-        ship = mapping[id(_ship_node(pattern))]
-        ship.is_ship_node = True
-        return TranslatedQuery(root=root, output=output, ship_node=ship)
+        if pattern.ship_roots:
+            # Axis-engine plan: ship the union of the computed ship set.
+            ships = [mapping[id(node)] for node in pattern.ship_roots]
+        else:
+            ships = [mapping[id(_ship_node(pattern))]]
+        for ship in ships:
+            ship.is_ship_node = True
+        return TranslatedQuery(
+            root=root,
+            output=output,
+            ship_node=ships[0],
+            extra_ship_nodes=ships[1:],
+        )
 
     def _translate_node(
         self, node: PatternNode, mapping: dict[int, "TranslatedNode"]
@@ -162,6 +189,7 @@ class QueryTranslator:
             keys=self._translate_test(node.test),
             axis=node.axis,
             is_output=node.is_output,
+            position_sensitive=node.position_sensitive,
         )
         if node.value_constraint is not None:
             self._translate_constraint(node, translated)

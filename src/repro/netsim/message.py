@@ -61,6 +61,8 @@ def encode_query(query: Any) -> bytes:
             out["o"] = 1
         if node.is_ship_node:
             out["s"] = 1
+        if node.position_sensitive:
+            out["ps"] = 1
         if node.children:
             out["c"] = [node_dict(child) for child in node.children]
         return out
@@ -90,6 +92,7 @@ def decode_query(payload: bytes) -> Any:
             ),
             is_output=bool(record.get("o")),
             is_ship_node=bool(record.get("s")),
+            position_sensitive=bool(record.get("ps")),
         )
         node.children = [build(child) for child in record.get("c", ())]
         return node
@@ -99,8 +102,18 @@ def decode_query(payload: bytes) -> Any:
     except (KeyError, TypeError, IndexError) as exc:
         raise MessageDecodeError(f"malformed query message: {exc}") from exc
     output = next((n for n in root.walk() if n.is_output), root)
-    ship = next((n for n in root.walk() if n.is_ship_node), root)
-    return TranslatedQuery(root=root, output=output, ship_node=ship)
+    # Axis-engine plans flag several ship nodes; the server ships the
+    # union of their survivors.  Walk order is deterministic, so the
+    # rebuilt ship list matches the client's.
+    ships = [n for n in root.walk() if n.is_ship_node]
+    if not ships:
+        ships = [root]
+    return TranslatedQuery(
+        root=root,
+        output=output,
+        ship_node=ships[0],
+        extra_ship_nodes=ships[1:],
+    )
 
 
 # ----------------------------------------------------------------------

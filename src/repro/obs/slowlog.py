@@ -37,6 +37,8 @@ class SlowLogEntry:
         "backoff_s",
         "fell_back",
         "naive",
+        "plan",
+        "fallback_reason",
         "failed",
         "answer_count",
         "span",
@@ -66,6 +68,8 @@ class SlowLogEntry:
         self.backoff_s = trace.backoff_s
         self.fell_back = trace.fell_back
         self.naive = trace.naive
+        self.plan = getattr(trace, "plan", "twig")
+        self.fallback_reason = getattr(trace, "fallback_reason", None)
         self.failed = failed
         self.answer_count = trace.answer_count
         self.span = span
@@ -83,6 +87,8 @@ class SlowLogEntry:
             "backoff_s": self.backoff_s,
             "fell_back": self.fell_back,
             "naive": self.naive,
+            "plan": self.plan,
+            "fallback_reason": self.fallback_reason,
             "failed": self.failed,
             "answer_count": self.answer_count,
         }
@@ -98,6 +104,10 @@ class SlowLogEntry:
             flags.append("fell-back")
         if self.naive:
             flags.append("naive")
+        if self.plan not in ("twig", "naive"):
+            flags.append(f"plan={self.plan}")
+        if self.fallback_reason:
+            flags.append(f"reason={self.fallback_reason!r}")
         if self.retries:
             flags.append(f"retries={self.retries}")
         if self.integrity_failures:

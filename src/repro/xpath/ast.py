@@ -29,9 +29,11 @@ AXIS_FOLLOWING_SIBLING = "following-sibling"
 AXIS_PRECEDING_SIBLING = "preceding-sibling"
 AXIS_FOLLOWING = "following"
 AXIS_PRECEDING = "preceding"
+AXIS_NAMESPACE = "namespace"
 
 ALL_AXES = frozenset(
     {
+        AXIS_NAMESPACE,
         AXIS_CHILD,
         AXIS_DESCENDANT,
         AXIS_DESCENDANT_OR_SELF,
@@ -106,13 +108,29 @@ class Comparison:
         return f"{self.path}{self.op}{literal}"
 
 
+#: Sentinel index for ``[last()]`` — resolved against the live candidate
+#: list at evaluation time, like Python's ``seq[-1]``.
+LAST = -1
+
+
 @dataclass(frozen=True)
 class Position:
-    """Positional predicate ``[n]`` (1-based, per XPath)."""
+    """Positional predicate ``[n]`` (1-based, per XPath).
+
+    ``[position()=n]`` normalizes to the same node, and ``[last()]`` is
+    carried as the :data:`LAST` sentinel so every layer downstream of the
+    parser sees a single positional shape.
+    """
 
     index: int
 
+    @property
+    def is_last(self) -> bool:
+        return self.index == LAST
+
     def __str__(self) -> str:
+        if self.is_last:
+            return "last()"
         return str(self.index)
 
 

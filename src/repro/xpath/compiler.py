@@ -7,11 +7,13 @@ of :class:`PatternNode` objects connected by ``child`` / ``descendant`` /
 ``attribute`` edges, with at most one value constraint per node and a single
 distinguished *output* node (the query answer node).
 
-Only the fragment the server can process compiles; queries using reverse or
-sibling axes, positional predicates, or absolute paths inside predicates
-raise :class:`UnsupportedQuery`, and the system falls back to the naive
-ship-everything protocol for them (§7.3's baseline) — the client still
-answers them correctly, just without server-side pruning.
+:func:`compile_pattern` lowers exactly the paper's fragment (downward
+axes, existence/value predicates) and raises :class:`UnsupportedQuery`
+for anything else; :mod:`repro.xpath.plan` catches that and re-lowers
+the query through the axis engine (:mod:`repro.xpath.axes`), which
+generalizes the edge vocabulary to all thirteen axes and positional
+predicates.  Both lowerings produce the same :class:`PatternTree` /
+:class:`PatternNode` shapes, so the structural-join matchers run either.
 """
 
 from __future__ import annotations
@@ -40,6 +42,11 @@ class PatternNode:
     #: (op, literal) when a comparison predicate constrains this node
     value_constraint: Optional[tuple[str, str]] = None
     is_output: bool = False
+    #: the original step carries a positional predicate ([n] / last()),
+    #: so the server must keep this node's candidate list complete: no
+    #: bottom-up pruning of the node's own matches (top-down pruning from
+    #: the parent remains sound) and the full surviving set ships.
+    position_sensitive: bool = False
 
     @property
     def is_attribute(self) -> bool:
@@ -72,6 +79,11 @@ class PatternTree:
     output: PatternNode
     #: the first named node on the main spine — the unit the server ships
     spine_root: PatternNode
+    #: multi-ship override set by the axis engine: every node listed here
+    #: ships its full surviving match set (union, deduplicated by the
+    #: server's nested-fragment drop).  ``None`` keeps the legacy
+    #: single-ship-node selection in the translator.
+    ship_roots: Optional[list[PatternNode]] = None
 
     def nodes(self) -> list[PatternNode]:
         out: list[PatternNode] = []
@@ -126,8 +138,12 @@ def _compile_steps(
             axis = "attribute-descendant" if pending_descendant else "attribute"
             test = f"@{step.test.name}"
         elif step.axis == ast.AXIS_DESCENDANT_OR_SELF:
-            axis = "descendant"
-            test = step.test.name
+            # A named (or predicated) descendant-or-self step is not a
+            # plain descendant edge — the or-self part would be lost.
+            # The axis engine lowers it with a dedicated edge.
+            raise UnsupportedQuery(
+                "descendant-or-self with a name test or predicates"
+            )
         else:
             raise UnsupportedQuery(
                 f"axis {step.axis!r} is not server-evaluable"

@@ -175,6 +175,10 @@ def _axis_nodes(node: Node, axis: str) -> Iterable[Node]:
         return _following_nodes(node)
     if axis == ast.AXIS_PRECEDING:
         return _preceding_nodes(node)
+    if axis == ast.AXIS_NAMESPACE:
+        # This data model carries no namespace declarations, so the
+        # thirteenth axis is well-defined and empty everywhere.
+        return []
     raise ValueError(f"unsupported axis {axis!r}")
 
 
@@ -223,6 +227,8 @@ def _filter_predicate(
 ) -> list[Node]:
     expr = predicate.expr
     if isinstance(expr, ast.Position):
+        if expr.is_last:
+            return [candidates[-1]] if candidates else []
         index = expr.index - 1
         return [candidates[index]] if 0 <= index < len(candidates) else []
     if isinstance(expr, ast.Exists):

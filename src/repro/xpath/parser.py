@@ -28,10 +28,12 @@ from repro.xpath.lexer import (
     DOUBLE_SLASH,
     END,
     LBRACKET,
+    LPAREN,
     NAME,
     NUMBER,
     OPERATOR,
     RBRACKET,
+    RPAREN,
     SLASH,
     STAR,
     STRING,
@@ -151,6 +153,12 @@ class _Parser:
         return ast.NodeTest(token.value)
 
     def _parse_predicate_expr(self) -> ast.PredicateExpr:
+        if (
+            self.current.kind == NAME
+            and self.current.value in ("last", "position")
+            and self.tokens[self.index + 1].kind == LPAREN
+        ):
+            return self._parse_position_function()
         if self.current.kind == NUMBER:
             token = self.advance()
             if self.current.kind == RBRACKET:
@@ -183,6 +191,28 @@ class _Parser:
             "expected literal after comparison operator",
             literal_token.position,
         )
+
+    def _parse_position_function(self) -> ast.Position:
+        """``last()`` and ``position() = n`` — both normalize to Position."""
+        name_token = self.expect(NAME)
+        self.expect(LPAREN)
+        self.expect(RPAREN)
+        if name_token.value == "last":
+            return ast.Position(ast.LAST)
+        operator = self.expect(OPERATOR)
+        if operator.value != "=":
+            raise XPathSyntaxError(
+                "position() supports '=' comparisons only",
+                operator.position,
+            )
+        number = self.expect(NUMBER)
+        value = float(number.value)
+        if value != int(value) or value < 1:
+            raise XPathSyntaxError(
+                "position() must compare against a positive integer",
+                number.position,
+            )
+        return ast.Position(int(value))
 
 
 def _descendant_or_self_star() -> ast.Step:

@@ -1,0 +1,128 @@
+"""Per-query plan selection: twig lowering, axis engine, or residual.
+
+Every parseable query gets a server-side plan — the naive client-only
+protocol is no longer reachable from the planner:
+
+``twig``
+    The paper's original fragment (downward axes, existence/value
+    predicates).  Uses :func:`repro.xpath.compiler.compile_pattern`
+    unchanged, byte-for-byte the legacy plan, including the legacy
+    single-ship-node rule.
+
+``axis``
+    Anything the twig compiler rejects but a generalized pattern can
+    express: reverse axes, order axes, positional predicates, named
+    descendant-or-self, relative-shaped predicate branches over those.
+    Uses :func:`repro.xpath.axes.compile_axis_pattern`, which also
+    computes the multi-node ship set.
+
+``residual``
+    Degenerate shapes with no pattern anchor (relative paths, reverse
+    axes from the document node, absolute predicate paths, positional
+    predicates on escaping branches, the namespace axis).  The server
+    ships the document root fragment through the sealed wire and the
+    client evaluates the original query over it — typed and counted,
+    never :class:`~repro.xpath.compiler.UnsupportedQuery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.xpath import ast
+from repro.xpath.axes import (
+    ResidualRequired,
+    compile_axis_pattern,
+    residual_pattern,
+)
+from repro.xpath.compiler import (
+    PatternNode,
+    PatternTree,
+    UnsupportedQuery,
+    compile_pattern,
+)
+from repro.xpath.parser import parse_xpath
+
+
+@dataclass
+class QueryPlan:
+    """A chosen lowering for one query."""
+
+    kind: str  # "twig" | "axis" | "residual"
+    pattern: PatternTree
+    #: why the previous tier was rejected (None for twig plans)
+    reason: Optional[str] = None
+
+
+def plan_query(path: ast.LocationPath) -> QueryPlan:
+    """Pick the cheapest lowering that still answers exactly."""
+    try:
+        return QueryPlan(kind="twig", pattern=compile_pattern(path))
+    except UnsupportedQuery as twig_reason:
+        try:
+            return QueryPlan(
+                kind="axis",
+                pattern=compile_axis_pattern(path),
+                reason=str(twig_reason),
+            )
+        except ResidualRequired as residual_reason:
+            return QueryPlan(
+                kind="residual",
+                pattern=residual_pattern(),
+                reason=str(residual_reason),
+            )
+
+
+def plan_for(xpath: str) -> QueryPlan:
+    """Parse-and-plan convenience used by the CLI and tests."""
+    return plan_query(parse_xpath(xpath))
+
+
+def explain_plan(xpath: str) -> str:
+    """Human-readable plan rendering (no server round-trip).
+
+    Reuses the pattern nodes' ``__str__`` and annotates ship-set and
+    positional markers, e.g.::
+
+        plan: axis (axis 'ancestor' is not server-evaluable)
+        root-descendant::b [ship]
+          ancestor::x *OUT* [ship]
+    """
+    try:
+        plan = plan_for(xpath)
+    except ValueError as exc:  # syntax errors included
+        return f"query: {xpath}\nplan: unplannable ({exc})"
+    lines = [f"query: {xpath}", f"plan: {plan.kind}"]
+    if plan.reason:
+        lines[-1] += f" ({plan.reason})"
+    ship_ids = {id(n) for n in _ship_nodes(plan.pattern)}
+    for root in plan.pattern.roots:
+        _render(root, 0, ship_ids, lines)
+    return "\n".join(lines)
+
+
+def _ship_nodes(pattern: PatternTree) -> list[PatternNode]:
+    if pattern.ship_roots is not None:
+        return pattern.ship_roots
+    # Legacy single-ship selection lives in the translator; re-derive it
+    # lazily to avoid importing core from the pure xpath layer.
+    from repro.core.translate import _ship_node
+
+    return [_ship_node(pattern)]
+
+
+def _render(
+    node: PatternNode,
+    depth: int,
+    ship_ids: set[int],
+    lines: list[str],
+) -> None:
+    marks = ""
+    if id(node) in ship_ids:
+        marks += " [ship]"
+    if node.position_sensitive:
+        marks += " [positional]"
+    lines.append(f"{'  ' * depth}{node}{marks}")
+    for child in node.children:
+        _render(child, depth + 1, ship_ids, lines)

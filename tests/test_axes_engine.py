@@ -1,0 +1,252 @@
+"""Differential sweep for the axis engine: all thirteen axes, exactly.
+
+The contract is the same correctness equation the downward fragment has
+always satisfied — ``Q(δ(Qs(η(D)))) = Q(D)`` — extended to every axis
+and every positional-predicate shape, across the execution matrix:
+object/columnar backends, serial/parallel engines, monolithic and
+(4, 2) cluster hosting, and a ≥20% fault sweep where the outcome must
+be the exact answer or a typed error.
+
+None of these queries may touch the naive protocol: the planner must
+pick a twig, axis, or residual server-side plan for each (the
+``naive_fallbacks`` counter stays at zero and every trace records a
+plan tier).
+"""
+
+import pytest
+
+from repro.cluster.placement import ClusterConfig
+from repro.core.client import canonical_node
+from repro.core.parallel import ParallelConfig
+from repro.core.system import QueryFailedError, SecureXMLSystem
+from repro.netsim import FaultPolicy, FaultyChannel
+from repro.perf import counters
+from repro.workloads.axes import ALL_AXES, AxisWorkload
+from repro.xpath.evaluator import evaluate
+
+#: Hand-picked shapes the generator's grammar does not reach: predicate
+#: branches over reverse/order axes, stacked predicates, multi-value
+#: constraints, degenerate paths.
+EXTRA_QUERIES = (
+    "//patient[pname='Betty']//disease[last()]",
+    "//disease[../doctor='Smith']",
+    "//treat[following-sibling::insurance]/disease",
+    "//doctor[ancestor::patient[age>36]]",
+    "//patient/treat[2]/doctor",
+    "//treat[disease='leukemia'][doctor='Smith']",
+    "//patient[age>30][age<40]/pname",
+    "/hospital/patient[1]/following-sibling::patient/pname",
+    "//pname/../age",
+    "//hospital/ancestor-or-self::hospital",
+    "//nosuchtag/following::doctor",
+    "/hospital//insurance/@coverage",
+)
+
+
+def truth(document, query):
+    return sorted(canonical_node(n) for n in evaluate(document, query))
+
+
+def axis_queries(document, seed=7):
+    return AxisWorkload(document, seed=seed).queries()
+
+
+def assert_exact_and_served(system, document, queries):
+    """Every query answers exactly and through a server-side plan."""
+    before = counters.snapshot().get("naive_fallbacks", 0)
+    for query in queries:
+        answer = system.query(query)
+        assert answer.canonical() == truth(document, query), query
+        trace = system.last_trace
+        assert not trace.naive, query
+        assert trace.plan in ("twig", "axis", "residual"), (
+            query,
+            trace.plan,
+        )
+    assert counters.snapshot().get("naive_fallbacks", 0) == before
+
+
+class TestGeneratorCoversEveryAxis:
+    def test_all_thirteen_axes_emitted(self, healthcare_doc):
+        by_axis = AxisWorkload(healthcare_doc).by_axis()
+        assert set(ALL_AXES) <= set(by_axis)
+        for axis in ALL_AXES:
+            assert by_axis[axis], axis
+        assert by_axis["positional"]
+
+
+class TestHealthcareMatrix:
+    """Full execution matrix on the Figure 2 database."""
+
+    @pytest.mark.parametrize("backend", ["object", "columnar"])
+    def test_serial(self, healthcare_doc, healthcare_scs, backend):
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="opt", backend=backend
+        )
+        queries = axis_queries(healthcare_doc) + list(EXTRA_QUERIES)
+        assert_exact_and_served(system, healthcare_doc, queries)
+
+    @pytest.mark.parametrize("backend", ["object", "columnar"])
+    def test_parallel(self, healthcare_doc, healthcare_scs, backend):
+        system = SecureXMLSystem.host(
+            healthcare_doc,
+            healthcare_scs,
+            scheme="opt",
+            backend=backend,
+            parallel=ParallelConfig(workers=4, backend="thread"),
+        )
+        try:
+            queries = axis_queries(healthcare_doc) + list(EXTRA_QUERIES)
+            assert_exact_and_served(system, healthcare_doc, queries)
+        finally:
+            system.close()
+
+    @pytest.mark.parametrize("backend", ["object", "columnar"])
+    def test_cluster(self, healthcare_doc, healthcare_scs, backend):
+        system = SecureXMLSystem.host(
+            healthcare_doc,
+            healthcare_scs,
+            scheme="opt",
+            backend=backend,
+            cluster=ClusterConfig(shards=4, replicas=2),
+        )
+        queries = axis_queries(healthcare_doc) + list(EXTRA_QUERIES)
+        assert_exact_and_served(system, healthcare_doc, queries)
+
+    def test_monolithic_and_cluster_answers_identical(
+        self, healthcare_doc, healthcare_scs
+    ):
+        mono = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="opt"
+        )
+        clustered = SecureXMLSystem.host(
+            healthcare_doc,
+            healthcare_scs,
+            scheme="opt",
+            cluster=ClusterConfig(shards=4, replicas=2),
+        )
+        for query in axis_queries(healthcare_doc) + list(EXTRA_QUERIES):
+            assert (
+                mono.query(query).canonical()
+                == clustered.query(query).canonical()
+            ), query
+
+
+class TestOtherCorpora:
+    """Spot configurations on the synthetic NASA and XMark databases."""
+
+    @pytest.mark.parametrize("backend", ["object", "columnar"])
+    def test_nasa(self, nasa_doc, nasa_scs, backend):
+        system = SecureXMLSystem.host(
+            nasa_doc, nasa_scs, scheme="opt", backend=backend
+        )
+        assert_exact_and_served(system, nasa_doc, axis_queries(nasa_doc))
+
+    def test_xmark_cluster(self, xmark_doc, xmark_scs):
+        system = SecureXMLSystem.host(
+            xmark_doc,
+            xmark_scs,
+            scheme="opt",
+            cluster=ClusterConfig(shards=4, replicas=2),
+        )
+        assert_exact_and_served(system, xmark_doc, axis_queries(xmark_doc))
+
+    def test_xmark_parallel_columnar(self, xmark_doc, xmark_scs):
+        system = SecureXMLSystem.host(
+            xmark_doc,
+            xmark_scs,
+            scheme="opt",
+            backend="columnar",
+            parallel=ParallelConfig(workers=4, backend="thread"),
+        )
+        try:
+            assert_exact_and_served(
+                system, xmark_doc, axis_queries(xmark_doc)
+            )
+        finally:
+            system.close()
+
+
+class TestFaultSweep:
+    """≥20% fault rates: exact answer or typed error, never wrong."""
+
+    @pytest.mark.parametrize(
+        "rates",
+        (
+            {"drop": 0.25},
+            {"corrupt": 0.25},
+            {"drop": 0.2, "corrupt": 0.2, "truncate": 0.1},
+        ),
+        ids=lambda r: "+".join(sorted(r)),
+    )
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_exact_or_typed(
+        self, seed, rates, healthcare_doc, healthcare_scs
+    ):
+        policy = FaultPolicy.symmetric(seed=seed, **rates)
+        system = SecureXMLSystem.host(
+            healthcare_doc,
+            healthcare_scs,
+            scheme="opt",
+            channel=FaultyChannel(policy=policy),
+        )
+        answered = 0
+        for query in axis_queries(healthcare_doc):
+            try:
+                answer = system.query(query)
+            except QueryFailedError:
+                continue  # typed failure is an allowed outcome
+            answered += 1
+            assert answer.canonical() == truth(healthcare_doc, query), (
+                seed,
+                rates,
+                query,
+            )
+        assert answered >= 1
+
+
+class TestPlanTiers:
+    """The planner's tier choice is pinned for representative shapes."""
+
+    @pytest.mark.parametrize(
+        "query,kind",
+        [
+            ("//patient/pname", "twig"),
+            ("//treat[disease='leukemia']/doctor", "twig"),
+            ("//treat/following-sibling::insurance", "axis"),
+            ("//age/ancestor::patient", "axis"),
+            ("/hospital/patient[1]/pname", "axis"),
+            ("//patient/descendant-or-self::patient", "axis"),
+            ("//age/namespace::*", "residual"),
+        ],
+    )
+    def test_plan_kind_recorded(
+        self, healthcare_doc, healthcare_scs, query, kind
+    ):
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="opt"
+        )
+        system.query(query)
+        trace = system.last_trace
+        assert trace.plan == kind, (query, trace.plan)
+        if kind == "twig":
+            assert trace.fallback_reason is None
+        else:
+            assert trace.fallback_reason
+
+    def test_fallback_reason_surfaces_in_row_and_slowlog(
+        self, healthcare_doc, healthcare_scs
+    ):
+        system = SecureXMLSystem.host(
+            healthcare_doc, healthcare_scs, scheme="opt"
+        )
+        system.query("//age/ancestor::patient")
+        row = system.last_trace.as_row()
+        assert row["plan"] == "axis"
+        assert "ancestor" in row["fallback_reason"]
+        entries = system.observability().slow_log.entries()
+        logged = {entry.query: entry for entry in entries}
+        entry = logged["//age/ancestor::patient"]
+        assert entry.plan == "axis"
+        assert "ancestor" in entry.fallback_reason
+        assert "plan=axis" in entry.render()

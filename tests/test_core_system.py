@@ -54,18 +54,21 @@ class TestCorrectness:
         assert answer.canonical() == truth(healthcare_doc, EXAMPLE_QUERY)
         assert system.last_trace.naive
 
-    def test_unsupported_query_falls_back_to_naive(
+    def test_positional_query_served_by_axis_engine(
         self, system, healthcare_doc
     ):
-        query = "/hospital/patient[1]/pname"  # positional: client-only
+        # Positional steps used to force the naive fallback; the axis
+        # engine now ships the complete candidate list server-side and
+        # the client indexes into it.
+        query = "/hospital/patient[1]/pname"
         answer = system.query(query)
-        assert system.last_trace.naive
+        assert not system.last_trace.naive
         assert answer.canonical() == truth(healthcare_doc, query)
 
-    def test_sibling_axis_falls_back(self, system, healthcare_doc):
+    def test_sibling_axis_served_by_axis_engine(self, system, healthcare_doc):
         query = "//disease/following-sibling::doctor"
         answer = system.query(query)
-        assert system.last_trace.naive
+        assert not system.last_trace.naive
         assert answer.canonical() == truth(healthcare_doc, query)
 
     def test_answer_values_helper(self, system):

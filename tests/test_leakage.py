@@ -39,6 +39,21 @@ QUERIES = (
 
 FULL = LeakagePolicy.full(seed=3)
 
+#: Axis-engine plans: multi-node ship sets, reverse/order joins,
+#: positional completeness, a residual plan.  The leakage gates must
+#: hold for these exactly as for the downward fragment — the new axes
+#: reuse the same sealed-fragment wire path, so pad/decoy/shuffle apply
+#: unchanged.
+AXIS_QUERIES = (
+    "//age/ancestor::patient",
+    "//treat/following-sibling::insurance",
+    "//disease/preceding::pname",
+    "//pname/..",
+    "/hospital/patient[1]/pname",
+    "//patient/descendant-or-self::patient",
+    "//age/namespace::*",
+)
+
 
 def host(doc, scs, **kwargs):
     return SecureXMLSystem.host(doc, scs, scheme="opt", **kwargs)
@@ -357,6 +372,78 @@ class TestCacheHygiene:
         assert delta.get("leakage_decoy_fetches", 0) == FULL.decoys
         assert delta.get("leakage_extra_bytes", 0) > 0
         assert delta.get("leakage_traces_recorded", 0) == 1
+
+
+# ----------------------------------------------------------------------
+# Axis-heavy queries: same gates, new plans
+# ----------------------------------------------------------------------
+def recorded_axis(doc, scs, **kwargs):
+    """Host with the full policy, run AXIS_QUERIES cold, return bytes."""
+    system = host(doc, scs, leakage=FULL, **kwargs)
+    for query in AXIS_QUERIES:
+        system.flush_caches()
+        system.query(query)
+    return system.leakage.recorder.encode()
+
+
+class TestAxisQueryLeakage:
+    def test_block_accounting_holds_for_multi_ship_plans(
+        self, healthcare_doc, healthcare_scs
+    ):
+        # Axis plans ship the union of several pattern nodes' survivors;
+        # the marker count must still reconcile exactly.
+        system = host(healthcare_doc, healthcare_scs)
+        for query in AXIS_QUERIES:
+            translated = system.client.translate(query)
+            response = system.server.answer(translated)
+            assert response.blocks_shipped == marker_count(response), query
+
+    def test_object_vs_columnar_traces_identical(
+        self, healthcare_doc, healthcare_scs
+    ):
+        first = recorded_axis(healthcare_doc, healthcare_scs,
+                              backend="object")
+        second = recorded_axis(healthcare_doc, healthcare_scs,
+                               backend="columnar")
+        assert first == second
+        assert first
+
+    def test_cluster_run_to_run_identical(
+        self, healthcare_doc, healthcare_scs
+    ):
+        cluster = ClusterConfig(shards=4, replicas=2)
+        first = recorded_axis(healthcare_doc, healthcare_scs,
+                              cluster=cluster)
+        second = recorded_axis(healthcare_doc, healthcare_scs,
+                               cluster=cluster)
+        assert first == second
+
+    def test_answers_identical_under_countermeasures(
+        self, healthcare_doc, healthcare_scs
+    ):
+        plain = host(healthcare_doc, healthcare_scs)
+        protected = host(healthcare_doc, healthcare_scs, leakage=FULL)
+        for query in AXIS_QUERIES:
+            assert (
+                plain.query(query).canonical()
+                == protected.query(query).canonical()
+            ), query
+
+    def test_countermeasures_reduce_advantage_on_axis_workload(
+        self, healthcare_doc, healthcare_scs
+    ):
+        unprotected = host(
+            healthcare_doc, healthcare_scs, leakage=LeakagePolicy()
+        )
+        protected = host(
+            healthcare_doc, healthcare_scs, leakage=LeakagePolicy.full()
+        )
+        queries = list(AXIS_QUERIES)
+        baseline = run_leakage_game(unprotected, queries, repeats=2, seed=0)
+        hardened = run_leakage_game(protected, queries, repeats=2, seed=0)
+        assert baseline.max_advantage > 0.0
+        assert hardened.max_advantage <= baseline.max_advantage
+        assert hardened.bandwidth_overhead > 0.0
 
 
 # ----------------------------------------------------------------------
